@@ -1,0 +1,48 @@
+// Figure 3: effect of the result count k on ATSQ and OATSQ running time,
+// on the LA and NY datasets, for IL / RT / IRT / GAT.
+//
+// Paper shape to reproduce: GAT fastest by a wide margin (order of
+// magnitude vs IL, several-fold vs RT/IRT); IL flat in k; the tree methods
+// and GAT grow mildly with k.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace gat::bench {
+namespace {
+
+void RunPanel(const CityFixture& city, QueryKind kind) {
+  char title[128];
+  std::snprintf(title, sizeof(title), "Figure 3: %s on %s",
+                ToString(kind).c_str(), city.name().c_str());
+  PrintPanelHeader(title, "k", city.searchers());
+  QueryGenerator qgen(city.dataset(), DefaultWorkload(/*seed=*/300));
+  const auto queries = qgen.Workload();
+  for (const size_t k : {5, 10, 15, 20, 25}) {
+    std::vector<double> row;
+    for (const Searcher* s : city.searchers()) {
+      row.push_back(RunWorkload(*s, queries, k, kind).avg_cost_ms);
+    }
+    PrintPanelRow(std::to_string(k), row);
+  }
+}
+
+void Main() {
+  PrintRunBanner("Figure 3", "effect of k (Table-V defaults otherwise)");
+  const double scale = ScaleFromEnv();
+  const CityFixture la(CityProfile::LosAngeles(scale));
+  const CityFixture ny(CityProfile::NewYork(scale));
+  for (const auto* city : {&la, &ny}) {
+    RunPanel(*city, QueryKind::kAtsq);
+    RunPanel(*city, QueryKind::kOatsq);
+  }
+}
+
+}  // namespace
+}  // namespace gat::bench
+
+int main() {
+  gat::bench::Main();
+  return 0;
+}

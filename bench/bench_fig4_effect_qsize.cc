@@ -1,0 +1,49 @@
+// Figure 4: effect of the number of query locations |Q| (2..6).
+//
+// Paper shape: RT/IRT/GAT cost grows with |Q| (more candidate streams);
+// IL gets *faster* for ATSQ (more demanded activities -> fewer candidates)
+// but slower for OATSQ (Dmom DP cost grows with |Q|).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace gat::bench {
+namespace {
+
+void RunPanel(const CityFixture& city, QueryKind kind) {
+  char title[128];
+  std::snprintf(title, sizeof(title), "Figure 4: %s on %s",
+                ToString(kind).c_str(), city.name().c_str());
+  PrintPanelHeader(title, "|Q|", city.searchers());
+  for (const uint32_t num_points : {2u, 3u, 4u, 5u, 6u}) {
+    auto wp = DefaultWorkload(/*seed=*/400 + num_points);
+    wp.num_query_points = num_points;
+    QueryGenerator qgen(city.dataset(), wp);
+    const auto queries = qgen.Workload();
+    std::vector<double> row;
+    for (const Searcher* s : city.searchers()) {
+      row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+    }
+    PrintPanelRow(std::to_string(num_points), row);
+  }
+}
+
+void Main() {
+  PrintRunBanner("Figure 4", "effect of |Q| (k=9, |q.Phi|=3, d=10km)");
+  const double scale = ScaleFromEnv();
+  const CityFixture la(CityProfile::LosAngeles(scale));
+  const CityFixture ny(CityProfile::NewYork(scale));
+  for (const auto* city : {&la, &ny}) {
+    RunPanel(*city, QueryKind::kAtsq);
+    RunPanel(*city, QueryKind::kOatsq);
+  }
+}
+
+}  // namespace
+}  // namespace gat::bench
+
+int main() {
+  gat::bench::Main();
+  return 0;
+}

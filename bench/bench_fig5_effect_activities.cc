@@ -1,0 +1,50 @@
+// Figure 5: effect of the number of activities per query location |q.Phi|
+// (1..5).
+//
+// Paper shape: IL/IRT/GAT get cheaper with more demanded activities (fewer
+// candidates survive activity filtering); RT is insensitive at retrieval
+// but pays more refinement.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace gat::bench {
+namespace {
+
+void RunPanel(const CityFixture& city, QueryKind kind) {
+  char title[128];
+  std::snprintf(title, sizeof(title), "Figure 5: %s on %s",
+                ToString(kind).c_str(), city.name().c_str());
+  PrintPanelHeader(title, "|q.Phi|", city.searchers());
+  for (const uint32_t acts : {1u, 2u, 3u, 4u, 5u}) {
+    auto wp = DefaultWorkload(/*seed=*/500 + acts);
+    wp.activities_per_point = acts;
+    QueryGenerator qgen(city.dataset(), wp);
+    const auto queries = qgen.Workload();
+    std::vector<double> row;
+    for (const Searcher* s : city.searchers()) {
+      row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+    }
+    PrintPanelRow(std::to_string(acts), row);
+  }
+}
+
+void Main() {
+  PrintRunBanner("Figure 5", "effect of |q.Phi| (k=9, |Q|=4, d=10km)");
+  const double scale = ScaleFromEnv();
+  const CityFixture la(CityProfile::LosAngeles(scale));
+  const CityFixture ny(CityProfile::NewYork(scale));
+  for (const auto* city : {&la, &ny}) {
+    RunPanel(*city, QueryKind::kAtsq);
+    RunPanel(*city, QueryKind::kOatsq);
+  }
+}
+
+}  // namespace
+}  // namespace gat::bench
+
+int main() {
+  gat::bench::Main();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6: effect of the query diameter delta(Q), 5-50 km.
+//
+// Paper shape: IL flat (no spatial awareness); RT/IRT/GAT degrade as the
+// query spreads (candidates around each location stop overlapping).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace gat::bench {
+namespace {
+
+void RunPanel(const CityFixture& city, QueryKind kind) {
+  char title[128];
+  std::snprintf(title, sizeof(title), "Figure 6: %s on %s",
+                ToString(kind).c_str(), city.name().c_str());
+  PrintPanelHeader(title, "delta(Q)", city.searchers());
+  for (const double diameter : {5.0, 10.0, 20.0, 30.0, 50.0}) {
+    auto wp = DefaultWorkload(/*seed=*/600 + static_cast<uint64_t>(diameter));
+    wp.diameter_km = diameter;
+    QueryGenerator qgen(city.dataset(), wp);
+    const auto queries = qgen.Workload();
+    std::vector<double> row;
+    for (const Searcher* s : city.searchers()) {
+      row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0fkm", diameter);
+    PrintPanelRow(label, row);
+  }
+}
+
+void Main() {
+  PrintRunBanner("Figure 6", "effect of delta(Q) (k=9, |Q|=4, |q.Phi|=3)");
+  const double scale = ScaleFromEnv();
+  const CityFixture la(CityProfile::LosAngeles(scale));
+  const CityFixture ny(CityProfile::NewYork(scale));
+  for (const auto* city : {&la, &ny}) {
+    RunPanel(*city, QueryKind::kAtsq);
+    RunPanel(*city, QueryKind::kOatsq);
+  }
+}
+
+}  // namespace
+}  // namespace gat::bench
+
+int main() {
+  gat::bench::Main();
+  return 0;
+}

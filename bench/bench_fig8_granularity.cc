@@ -1,0 +1,58 @@
+// Figure 8: effect of the grid partition granularity (d = 5..8, i.e.
+// 32x32 .. 256x256 cells) on GAT's ATSQ/OATSQ running time and on the
+// main-memory cost of the index.
+//
+// Paper shape: finer grids help (tighter lower bounds) with diminishing
+// returns beyond 64x64; memory cost rises gently with the partition count
+// since only ITL grows in the memory tier (low HICL levels live on disk).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace gat::bench {
+namespace {
+
+void RunCity(const CityProfile& profile) {
+  const Dataset dataset = GenerateCity(profile);
+  QueryGenerator qgen(dataset, DefaultWorkload(/*seed=*/800));
+  const auto queries = qgen.Workload();
+
+  std::printf("\n=== Figure 8: partition granularity on %s ===\n",
+              profile.name.c_str());
+  std::printf("%-12s%14s%14s%18s\n", "#partition", "ATSQ(ms)", "OATSQ(ms)",
+              "memory cost(MB)");
+  for (const int depth : {5, 6, 7, 8}) {
+    GatConfig config;
+    config.depth = depth;
+    config.memory_levels = std::min(depth, 6);
+    const GatIndex index(dataset, config);
+    const GatSearcher gat(dataset, index);
+    const double atsq =
+        RunWorkload(gat, queries, 9, QueryKind::kAtsq).avg_cost_ms;
+    const double oatsq =
+        RunWorkload(gat, queries, 9, QueryKind::kOatsq).avg_cost_ms;
+    const double mem_mb =
+        static_cast<double>(index.memory_breakdown().MainMemoryTotal()) /
+        (1024.0 * 1024.0);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%dx%d", 1 << depth, 1 << depth);
+    std::printf("%-12s%14.3f%14.3f%18.3f\n", label, atsq, oatsq, mem_mb);
+  }
+}
+
+void Main() {
+  PrintRunBanner("Figure 8",
+                 "GAT runtime + main-memory cost vs grid granularity");
+  const double scale = ScaleFromEnv();
+  RunCity(CityProfile::LosAngeles(scale));
+  RunCity(CityProfile::NewYork(scale));
+}
+
+}  // namespace
+}  // namespace gat::bench
+
+int main() {
+  gat::bench::Main();
+  return 0;
+}

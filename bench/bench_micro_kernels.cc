@@ -1,0 +1,162 @@
+// google-benchmark micro timings of the hot kernels: Dmpm (Algorithm 3),
+// the Dmom DP (Algorithm 4), grid/Z-order operations, TAS membership and
+// R-tree incremental NN.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gat/core/match.h"
+#include "gat/core/order_match.h"
+#include "gat/core/point_match.h"
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/geo/zorder.h"
+#include "gat/index/gat_index.h"
+#include "gat/rtree/rtree.h"
+#include "gat/search/gat_search.h"
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+std::vector<MatchPoint> RandomCandidates(Rng& rng, int bits, int n) {
+  std::vector<MatchPoint> cp;
+  for (int i = 0; i < n; ++i) {
+    ActivityMask mask = 0;
+    for (int b = 0; b < bits; ++b) {
+      if (rng.NextBool(0.3)) mask |= ActivityMask{1} << b;
+    }
+    if (mask == 0) mask = ActivityMask{1} << rng.NextU32(bits);
+    cp.push_back(MatchPoint{rng.NextDouble(0, 100), mask,
+                            static_cast<PointIndex>(i)});
+  }
+  return cp;
+}
+
+void BM_Dmpm_Algorithm3(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const auto cp = RandomCandidates(rng, bits, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinPointMatchDistance(cp, bits).distance);
+  }
+}
+BENCHMARK(BM_Dmpm_Algorithm3)
+    ->Args({3, 16})
+    ->Args({3, 64})
+    ->Args({5, 64})
+    ->Args({8, 256});
+
+void BM_Dmpm_Exhaustive(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const auto cp = RandomCandidates(rng, bits, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExhaustiveMinPointMatch(cp, bits, nullptr));
+  }
+}
+BENCHMARK(BM_Dmpm_Exhaustive)->Args({3, 64})->Args({5, 64})->Args({8, 256});
+
+void BM_Dmom_DynamicProgram(benchmark::State& state) {
+  const auto traj_len = static_cast<size_t>(state.range(0));
+  // Synthetic trajectory/query: 4 query points, 3 activities each.
+  Rng rng(2);
+  std::vector<TrajectoryPoint> points;
+  for (size_t i = 0; i < traj_len; ++i) {
+    TrajectoryPoint p;
+    p.location = Point{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    const uint32_t count = 1 + rng.NextU32(3);
+    for (uint32_t c = 0; c < count; ++c) p.activities.push_back(rng.NextU32(12));
+    points.push_back(std::move(p));
+  }
+  Trajectory tr(std::move(points));
+  tr.NormalizeActivities();
+  std::vector<QueryPoint> qp;
+  for (int i = 0; i < 4; ++i) {
+    qp.push_back(QueryPoint{Point{rng.NextDouble(0, 10), rng.NextDouble(0, 10)},
+                            {rng.NextU32(12), rng.NextU32(12), rng.NextU32(12)}});
+  }
+  const Query query(std::move(qp));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinOrderSensitiveMatchDistance(tr, query));
+  }
+}
+BENCHMARK(BM_Dmom_DynamicProgram)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ZOrderEncode(benchmark::State& state) {
+  Rng rng(3);
+  uint32_t col = rng.NextU32(1 << 16);
+  uint32_t row = rng.NextU32(1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zorder::Encode(col, row));
+    col = (col + 7) & 0xFFFF;
+    row = (row + 13) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_ZOrderEncode);
+
+void BM_GridLeafCode(benchmark::State& state) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{60, 50}}, 8);
+  Rng rng(4);
+  Point p{rng.NextDouble(0, 60), rng.NextDouble(0, 50)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.LeafCode(p));
+    p.x = p.x >= 60 ? 0.0 : p.x + 0.37;
+  }
+}
+BENCHMARK(BM_GridLeafCode);
+
+void BM_TasMightContainAll(benchmark::State& state) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(500, 11));
+  std::vector<std::vector<ActivityId>> sets;
+  for (const auto& tr : dataset.trajectories()) sets.push_back(tr.ActivityUnion());
+  const Tas tas(sets, 2);
+  const std::vector<ActivityId> probe = {1, 5, 17};
+  TrajectoryId t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tas.MightContainAll(t, probe));
+    t = (t + 1) % dataset.size();
+  }
+}
+BENCHMARK(BM_TasMightContainAll);
+
+void BM_RTreeNearestStream(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<RTreeEntry> entries;
+  for (uint32_t i = 0; i < 20000; ++i) {
+    entries.push_back(RTreeEntry{
+        Point{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}, i, 0});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(entries), 32);
+  for (auto _ : state) {
+    RTree::NearestIterator it(tree, Point{50, 50});
+    RTreeEntry e;
+    double d;
+    for (int i = 0; i < 100; ++i) it.Next(&e, &d);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_RTreeNearestStream);
+
+void BM_GatAtsqQuery(benchmark::State& state) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(1000, 12));
+  const GatIndex index(dataset);
+  const GatSearcher searcher(dataset, index);
+  QueryWorkloadParams wp;
+  wp.num_queries = 1;
+  wp.seed = 13;
+  QueryGenerator qgen(dataset, wp);
+  const Query q = qgen.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.Atsq(q, 9));
+  }
+}
+BENCHMARK(BM_GatAtsqQuery);
+
+}  // namespace
+}  // namespace gat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#ifndef GAT_BENCH_HARNESS_H_
+#define GAT_BENCH_HARNESS_H_
+
+// Shared experiment harness for the figure/table benches.
+//
+// Every bench binary reproduces one figure or table of Zheng et al., ICDE
+// 2013, Section VII, printing the same rows/series the paper plots. Scale
+// and query count are tunable via environment variables so the same binary
+// covers quick smoke runs and full-size reproductions:
+//
+//   GAT_BENCH_SCALE    fraction of the Table-IV dataset sizes (default 0.04)
+//   GAT_BENCH_QUERIES  queries per measurement point     (default 15; the
+//                      paper uses 50 — set it for full fidelity)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gat/baselines/il_search.h"
+#include "gat/baselines/irt_search.h"
+#include "gat/baselines/rt_search.h"
+#include "gat/core/searcher.h"
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/index/gat_index.h"
+#include "gat/model/dataset_stats.h"
+#include "gat/search/gat_search.h"
+#include "gat/util/stopwatch.h"
+
+namespace gat::bench {
+
+inline double ScaleFromEnv() {
+  const char* s = std::getenv("GAT_BENCH_SCALE");
+  if (s == nullptr) return 0.04;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : 0.04;
+}
+
+inline uint32_t QueriesFromEnv() {
+  const char* s = std::getenv("GAT_BENCH_QUERIES");
+  if (s == nullptr) return 15;
+  const int v = std::atoi(s);
+  return v > 0 ? static_cast<uint32_t>(v) : 15;
+}
+
+/// Per-read latency (ms) charged for simulated disk accesses. The paper's
+/// testbed (2013, 4 GB RAM, datasets + APL + low HICL levels on a hard
+/// disk) is I/O bound; every searcher counts its page/record fetches in
+/// SearchStats::disk_reads and the harness reports
+/// CPU time + disk_reads * penalty as the paper-comparable "running time".
+/// Default 2 ms (a seek-heavy HDD with some OS caching); set
+/// GAT_DISK_PENALTY_MS=0 for pure in-memory timings.
+inline double DiskPenaltyMsFromEnv() {
+  const char* s = std::getenv("GAT_DISK_PENALTY_MS");
+  if (s == nullptr) return 2.0;
+  const double v = std::atof(s);
+  return v >= 0.0 ? v : 2.0;
+}
+
+/// The Table-V defaults.
+inline QueryWorkloadParams DefaultWorkload(uint64_t seed) {
+  QueryWorkloadParams wp;
+  wp.num_query_points = 4;
+  wp.activities_per_point = 3;
+  wp.diameter_km = 10.0;
+  wp.num_queries = QueriesFromEnv();
+  wp.seed = seed;
+  return wp;
+}
+
+/// One city with the paper's four competitors built over it.
+class CityFixture {
+ public:
+  explicit CityFixture(const CityProfile& profile)
+      : name_(profile.name), dataset_(GenerateCity(profile)) {
+    Build();
+  }
+
+  /// Takes ownership of an already-generated dataset (Figure-7 subsets).
+  CityFixture(std::string name, Dataset dataset)
+      : name_(std::move(name)), dataset_(std::move(dataset)) {
+    Build();
+  }
+
+  const std::string& name() const { return name_; }
+  const Dataset& dataset() const { return dataset_; }
+  const GatIndex& index() const { return *index_; }
+
+  /// Searchers in the paper's plotting order: IL, RT, IRT, GAT.
+  std::vector<const Searcher*> searchers() const {
+    return {il_.get(), rt_.get(), irt_.get(), gat_.get()};
+  }
+  const GatSearcher& gat() const { return *gat_; }
+
+ private:
+  void Build() {
+    index_ = std::make_unique<GatIndex>(dataset_);
+    gat_ = std::make_unique<GatSearcher>(dataset_, *index_);
+    il_ = std::make_unique<IlSearcher>(dataset_);
+    rt_ = std::make_unique<RtSearcher>(dataset_);
+    irt_ = std::make_unique<IrtSearcher>(dataset_);
+  }
+
+  std::string name_;
+  Dataset dataset_;
+  std::unique_ptr<GatIndex> index_;
+  std::unique_ptr<GatSearcher> gat_;
+  std::unique_ptr<IlSearcher> il_;
+  std::unique_ptr<RtSearcher> rt_;
+  std::unique_ptr<IrtSearcher> irt_;
+};
+
+struct Measurement {
+  double avg_ms = 0.0;       ///< CPU time per query
+  double avg_cost_ms = 0.0;  ///< CPU + simulated disk time per query
+  SearchStats totals;
+};
+
+/// Runs a workload through one searcher. `avg_cost_ms` is the
+/// paper-comparable "running time": CPU wall-clock plus the simulated disk
+/// latency of every page/record fetch the method performed.
+inline Measurement RunWorkload(const Searcher& searcher,
+                               const std::vector<Query>& queries, size_t k,
+                               QueryKind kind) {
+  Measurement m;
+  for (const Query& q : queries) {
+    SearchStats stats;
+    Stopwatch timer;
+    searcher.Search(q, k, kind, &stats);
+    m.avg_ms += timer.ElapsedMillis();
+    stats.elapsed_ms = 0;  // avoid double counting in the += below
+    m.totals += stats;
+  }
+  if (!queries.empty()) {
+    m.avg_ms /= static_cast<double>(queries.size());
+    m.avg_cost_ms =
+        m.avg_ms + DiskPenaltyMsFromEnv() *
+                       static_cast<double>(m.totals.disk_reads) /
+                       static_cast<double>(queries.size());
+  }
+  return m;
+}
+
+/// Paper-style table printing: one row per x-axis value, one column per
+/// method, milliseconds per query.
+inline void PrintPanelHeader(const std::string& title,
+                             const std::string& x_label,
+                             const std::vector<const Searcher*>& methods) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-10s", x_label.c_str());
+  for (const auto* s : methods) std::printf("%12s", s->name().c_str());
+  std::printf("   (avg ms/query, incl. %.1fms/disk-read)\n",
+              DiskPenaltyMsFromEnv());
+}
+
+inline void PrintPanelRow(const std::string& x_value,
+                          const std::vector<double>& values) {
+  std::printf("%-10s", x_value.c_str());
+  for (double v : values) std::printf("%12.3f", v);
+  std::printf("\n");
+}
+
+inline void PrintRunBanner(const char* figure, const char* what) {
+  std::printf("--------------------------------------------------------\n");
+  std::printf("%s: %s\n", figure, what);
+  std::printf("scale=%.3f of Table-IV sizes, %u queries/point "
+              "(GAT_BENCH_SCALE / GAT_BENCH_QUERIES to change)\n",
+              ScaleFromEnv(), QueriesFromEnv());
+  std::printf("--------------------------------------------------------\n");
+}
+
+}  // namespace gat::bench
+
+#endif  // GAT_BENCH_HARNESS_H_

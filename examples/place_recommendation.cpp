@@ -1,0 +1,72 @@
+// Place recommendation: find users with similar activity patterns around
+// the places a user frequents, comparing the GAT index against the three
+// baseline search strategies of the paper (they must return identical
+// distances — only the work they do differs).
+//
+// Build & run:   ./build/examples/place_recommendation
+
+#include <cstdio>
+#include <vector>
+
+#include "gat/baselines/il_search.h"
+#include "gat/baselines/irt_search.h"
+#include "gat/baselines/rt_search.h"
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/index/gat_index.h"
+#include "gat/search/gat_search.h"
+#include "gat/util/stopwatch.h"
+
+using namespace gat;
+
+int main() {
+  const Dataset city = GenerateCity(CityProfile::LosAngeles(0.05));
+  std::printf("City: %zu trajectories\n", city.size());
+
+  const GatIndex index(city);
+  const GatSearcher gat(city, index);
+  const IlSearcher il(city);
+  const RtSearcher rt(city);
+  const IrtSearcher irt(city);
+  const std::vector<const Searcher*> searchers = {&gat, &il, &rt, &irt};
+
+  QueryWorkloadParams wp;
+  wp.num_queries = 10;
+  wp.seed = 2013;
+  QueryGenerator qgen(city, wp);
+  const auto queries = qgen.Workload();
+
+  std::printf("\n%-6s%14s%16s%14s%12s\n", "method", "avg ms/query",
+              "candidates", "dist comps", "disk reads");
+  ResultList reference;
+  for (const Searcher* s : searchers) {
+    SearchStats total;
+    double elapsed = 0.0;
+    ResultList last;
+    for (const Query& q : queries) {
+      SearchStats st;
+      Stopwatch timer;
+      last = s->Search(q, 9, QueryKind::kAtsq, &st);
+      elapsed += timer.ElapsedMillis();
+      st.elapsed_ms = 0;
+      total += st;
+    }
+    if (s == &gat) {
+      reference = last;
+    } else if (!SameDistances(last, reference, 1e-7)) {
+      std::printf("!! %s disagrees with GAT on the last query\n",
+                  s->name().c_str());
+    }
+    std::printf("%-6s%14.3f%16llu%14llu%12llu\n", s->name().c_str(),
+                elapsed / queries.size(),
+                static_cast<unsigned long long>(total.candidates_retrieved),
+                static_cast<unsigned long long>(total.distance_computations),
+                static_cast<unsigned long long>(total.disk_reads));
+  }
+
+  std::printf(
+      "\nAll four methods return the same top-k distances; they differ in\n"
+      "how many candidates they touch — the entire subject of the paper's\n"
+      "evaluation (Section VII).\n");
+  return 0;
+}

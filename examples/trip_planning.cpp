@@ -1,0 +1,72 @@
+// Trip planning with order-sensitive search (OATSQ).
+//
+// Scenario from the paper's introduction: a visitor wants a day plan —
+// breakfast downtown, then a museum, then dinner near the waterfront, in
+// that order. OATSQ retrieves the trajectories of locals whose activity
+// *sequence* matches, which an order-free ATSQ would not guarantee.
+//
+// Build & run:   ./build/examples/trip_planning
+
+#include <cstdio>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/index/gat_index.h"
+#include "gat/model/dataset_stats.h"
+#include "gat/search/gat_search.h"
+
+using namespace gat;
+
+int main() {
+  // A synthetic city with the New-York statistical profile at 5% scale.
+  const Dataset city = GenerateCity(CityProfile::NewYork(0.05));
+  const auto stats = DatasetStats::Collect(city);
+  std::printf("City: %llu trajectories, %llu check-ins, %llu activities\n",
+              static_cast<unsigned long long>(stats.num_trajectories),
+              static_cast<unsigned long long>(stats.num_points),
+              static_cast<unsigned long long>(stats.num_activity_assignments));
+
+  const GatIndex index(city);
+  const GatSearcher searcher(city, index);
+  std::printf("GAT index built in %.2f s (%s)\n\n", index.build_seconds(),
+              index.memory_breakdown().ToString().c_str());
+
+  // Sample a realistic 3-stop itinerary from the city itself (the query
+  // generator implements the paper's workload recipe).
+  QueryWorkloadParams wp;
+  wp.num_query_points = 3;
+  wp.activities_per_point = 2;
+  wp.diameter_km = 8.0;
+  wp.seed = 99;
+  QueryGenerator qgen(city, wp);
+  const Query itinerary = qgen.Next();
+
+  std::printf("Planned stops (in order):\n");
+  for (size_t i = 0; i < itinerary.size(); ++i) {
+    std::printf("  stop %zu at (%.2f, %.2f) km, demanded activity IDs:",
+                i + 1, itinerary[i].location.x, itinerary[i].location.y);
+    for (ActivityId a : itinerary[i].activities) std::printf(" #%u", a);
+    std::printf("\n");
+  }
+
+  SearchStats atsq_stats;
+  SearchStats oatsq_stats;
+  const auto unordered = searcher.Atsq(itinerary, 5, &atsq_stats);
+  const auto ordered = searcher.Oatsq(itinerary, 5, &oatsq_stats);
+
+  std::printf("\nTop-5 order-free references (ATSQ):\n");
+  for (const auto& r : unordered) {
+    std::printf("  user %-6u Dmm  = %.3f km\n", r.trajectory, r.distance);
+  }
+  std::printf("Top-5 order-respecting references (OATSQ):\n");
+  for (const auto& r : ordered) {
+    std::printf("  user %-6u Dmom = %.3f km\n", r.trajectory, r.distance);
+  }
+
+  std::printf("\nSearch work (ATSQ):  %s\n", atsq_stats.ToString().c_str());
+  std::printf("Search work (OATSQ): %s\n", oatsq_stats.ToString().c_str());
+  std::printf(
+      "\nNote how every OATSQ distance is >= the ATSQ distance of the same\n"
+      "rank (Lemma 3): respecting the stop order can only cost more.\n");
+  return 0;
+}

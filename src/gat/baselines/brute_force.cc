@@ -1,0 +1,35 @@
+#include "gat/baselines/brute_force.h"
+
+#include "gat/baselines/refinement.h"
+#include "gat/common/check.h"
+#include "gat/util/stopwatch.h"
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+BruteForceSearcher::BruteForceSearcher(const Dataset& dataset)
+    : dataset_(dataset) {
+  GAT_CHECK(dataset.finalized());
+}
+
+ResultList BruteForceSearcher::Search(const Query& query, size_t k,
+                                      QueryKind kind,
+                                      SearchStats* stats) const {
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st.Reset();
+  Stopwatch timer;
+  if (query.empty() || k == 0) return {};
+
+  TopKCollector collector(k);
+  for (TrajectoryId t = 0; t < dataset_.size(); ++t) {
+    ++st.candidates_retrieved;
+    const double d = RefineCandidate(dataset_.trajectory(t), query, kind,
+                                     collector.Threshold(), st);
+    collector.Offer(t, d);
+  }
+  st.elapsed_ms = timer.ElapsedMillis();
+  return ToResultList(collector);
+}
+
+}  // namespace gat

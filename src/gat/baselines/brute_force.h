@@ -1,0 +1,26 @@
+#ifndef GAT_BASELINES_BRUTE_FORCE_H_
+#define GAT_BASELINES_BRUTE_FORCE_H_
+
+#include "gat/core/searcher.h"
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// Exhaustive scan over every trajectory. Not part of the paper's
+/// evaluation; serves as the correctness oracle for all other searchers and
+/// as the "no index" datum in ablation discussions.
+class BruteForceSearcher : public Searcher {
+ public:
+  explicit BruteForceSearcher(const Dataset& dataset);
+
+  ResultList Search(const Query& query, size_t k, QueryKind kind,
+                    SearchStats* stats = nullptr) const override;
+  std::string name() const override { return "BF"; }
+
+ private:
+  const Dataset& dataset_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,78 @@
+#include "gat/baselines/il_search.h"
+
+#include <algorithm>
+
+#include "gat/baselines/refinement.h"
+#include "gat/common/check.h"
+#include "gat/util/stopwatch.h"
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+IlSearcher::IlSearcher(const Dataset& dataset) : dataset_(dataset) {
+  GAT_CHECK(dataset.finalized());
+  postings_.resize(dataset.num_distinct_activities());
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    for (ActivityId a : dataset.trajectory(t).ActivityUnion()) {
+      GAT_DCHECK(a < postings_.size());
+      postings_[a].push_back(t);
+    }
+  }
+  // Trajectory IDs are visited in order, so each list is already sorted.
+}
+
+std::vector<TrajectoryId> IlSearcher::CandidatesFor(
+    const std::vector<ActivityId>& activities) const {
+  if (activities.empty()) {
+    std::vector<TrajectoryId> all(dataset_.size());
+    for (TrajectoryId t = 0; t < dataset_.size(); ++t) all[t] = t;
+    return all;
+  }
+  // Intersect shortest-first to keep intermediate results small.
+  std::vector<const std::vector<TrajectoryId>*> lists;
+  lists.reserve(activities.size());
+  for (ActivityId a : activities) {
+    if (a >= postings_.size()) return {};  // activity absent from dataset
+    lists.push_back(&postings_[a]);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<TrajectoryId> result = *lists.front();
+  std::vector<TrajectoryId> next;
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+size_t IlSearcher::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& list : postings_) {
+    bytes += list.size() * sizeof(TrajectoryId);
+  }
+  return bytes;
+}
+
+ResultList IlSearcher::Search(const Query& query, size_t k, QueryKind kind,
+                              SearchStats* stats) const {
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st.Reset();
+  Stopwatch timer;
+  if (query.empty() || k == 0) return {};
+
+  TopKCollector collector(k);
+  for (TrajectoryId t : CandidatesFor(query.ActivityUnion())) {
+    ++st.candidates_retrieved;
+    const double d = RefineCandidate(dataset_.trajectory(t), query, kind,
+                                     collector.Threshold(), st);
+    collector.Offer(t, d);
+  }
+  st.elapsed_ms = timer.ElapsedMillis();
+  return ToResultList(collector);
+}
+
+}  // namespace gat

@@ -1,0 +1,40 @@
+#ifndef GAT_BASELINES_IL_SEARCH_H_
+#define GAT_BASELINES_IL_SEARCH_H_
+
+#include <vector>
+
+#include "gat/core/searcher.h"
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// The IL baseline (Section III-A): a per-activity inverted list over
+/// trajectory IDs, built from each trajectory's aggregated activity set.
+/// Search first intersects the lists of every demanded activity — filtering
+/// out trajectories that cannot possibly match — then sequentially refines
+/// all survivors. Uses activity information only; its cost is independent
+/// of k and of the spatial spread of the query, exactly the behaviour
+/// Figures 3-6 show.
+class IlSearcher : public Searcher {
+ public:
+  explicit IlSearcher(const Dataset& dataset);
+
+  ResultList Search(const Query& query, size_t k, QueryKind kind,
+                    SearchStats* stats = nullptr) const override;
+  std::string name() const override { return "IL"; }
+
+  /// Trajectories containing every activity in `activities` (sorted IDs).
+  std::vector<TrajectoryId> CandidatesFor(
+      const std::vector<ActivityId>& activities) const;
+
+  size_t IndexBytes() const;
+
+ private:
+  const Dataset& dataset_;
+  /// posting_[a] = sorted trajectory IDs whose activity union contains a.
+  std::vector<std::vector<TrajectoryId>> postings_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_BASELINES_IL_SEARCH_H_

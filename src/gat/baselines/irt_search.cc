@@ -1,0 +1,111 @@
+#include "gat/baselines/irt_search.h"
+
+#include <vector>
+
+#include "gat/baselines/refinement.h"
+#include "gat/common/check.h"
+#include "gat/util/stopwatch.h"
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+IrtSearcher::IrtSearcher(const Dataset& dataset, uint32_t batch,
+                         int max_node_entries)
+    : dataset_(dataset), batch_(batch) {
+  GAT_CHECK(dataset.finalized());
+  GAT_CHECK(batch > 0);
+  std::vector<IrTreeEntry> entries;
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    const auto& tr = dataset.trajectory(t);
+    for (PointIndex i = 0; i < tr.size(); ++i) {
+      entries.push_back(IrTreeEntry{tr[i].location, t, i, tr[i].activities});
+    }
+  }
+  tree_ = IrTree::BulkLoad(std::move(entries), max_node_entries);
+}
+
+ResultList IrtSearcher::Search(const Query& query, size_t k, QueryKind kind,
+                               SearchStats* stats) const {
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+  st.Reset();
+  Stopwatch timer;
+  if (query.empty() || k == 0) return {};
+
+  // One activity-filtered NN stream per demanded query point.
+  std::vector<IrTree::NearestIterator> streams;
+  streams.reserve(query.size());
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (query[i].activities.empty()) continue;
+    streams.emplace_back(tree_, query[i].location, query[i].activities);
+  }
+
+  if (streams.empty()) {
+    ResultList out;
+    for (TrajectoryId t = 0; t < dataset_.size() && out.size() < k; ++t) {
+      out.push_back(SearchResult{t, 0.0});
+    }
+    st.elapsed_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  TopKCollector collector(k);
+  std::vector<char> seen(dataset_.size(), 0);
+
+  while (true) {
+    ++st.rounds;
+    std::vector<TrajectoryId> fresh;
+    for (uint32_t b = 0; b < batch_; ++b) {
+      size_t best_stream = streams.size();
+      double best_pending = kInfDist;
+      for (size_t s = 0; s < streams.size(); ++s) {
+        const double pending = streams[s].PendingLowerBound();
+        if (pending < best_pending) {
+          best_pending = pending;
+          best_stream = s;
+        }
+      }
+      if (best_stream == streams.size()) break;  // every stream drained
+      const IrTreeEntry* entry = nullptr;
+      double dist = 0.0;
+      if (!streams[best_stream].Next(&entry, &dist)) continue;
+      ++st.nodes_popped;
+      if (!seen[entry->trajectory]) {
+        seen[entry->trajectory] = 1;
+        fresh.push_back(entry->trajectory);
+      }
+    }
+
+    for (TrajectoryId t : fresh) {
+      ++st.candidates_retrieved;
+      const double d = RefineCandidate(dataset_.trajectory(t), query, kind,
+                                       collector.Threshold(), st);
+      collector.Offer(t, d);
+    }
+
+    // Per-stream pending distances lower-bound the per-query-point minimum
+    // point match distance of every unseen trajectory: an unseen
+    // trajectory's match points for q_i all still sit in stream i. When a
+    // stream drains, every trajectory that could match q_i at all has been
+    // seen, so nothing unseen can be a match and the search is complete.
+    double bound = 0.0;
+    bool any_stream_drained = false;
+    for (auto& s : streams) {
+      const double pending = s.PendingLowerBound();
+      if (pending == kInfDist) {
+        any_stream_drained = true;
+        break;
+      }
+      bound += pending;
+    }
+    if (any_stream_drained) break;
+    if (collector.Threshold() < bound) break;
+  }
+
+  // Every IR-tree node visited is one (simulated) disk page read.
+  for (auto& s : streams) st.disk_reads += s.nodes_popped();
+  st.elapsed_ms = timer.ElapsedMillis();
+  return ToResultList(collector);
+}
+
+}  // namespace gat

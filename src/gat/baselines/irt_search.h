@@ -1,0 +1,40 @@
+#ifndef GAT_BASELINES_IRT_SEARCH_H_
+#define GAT_BASELINES_IRT_SEARCH_H_
+
+#include <cstdint>
+
+#include "gat/core/searcher.h"
+#include "gat/model/dataset.h"
+#include "gat/rtree/irtree.h"
+
+namespace gat {
+
+/// The IRT baseline (Section III-C): like RT, but the index is an IR-tree
+/// whose nodes carry activity inverted files. Before probing the entries of
+/// a node, the search checks the node's activity summary against the
+/// demanded activities; subtrees without any of them are pruned. Each query
+/// point's stream is filtered by that point's own activity set, so the
+/// stream enumerates exactly the potential point matches in ascending
+/// distance — the per-stream pending distance lower-bounds the minimum
+/// *point match* distance of every unseen trajectory, giving a valid (and
+/// tighter than RT's) termination bound.
+class IrtSearcher : public Searcher {
+ public:
+  explicit IrtSearcher(const Dataset& dataset, uint32_t batch = 64,
+                       int max_node_entries = 32);
+
+  ResultList Search(const Query& query, size_t k, QueryKind kind,
+                    SearchStats* stats = nullptr) const override;
+  std::string name() const override { return "IRT"; }
+
+  const IrTree& tree() const { return tree_; }
+
+ private:
+  const Dataset& dataset_;
+  IrTree tree_;
+  uint32_t batch_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_BASELINES_IRT_SEARCH_H_

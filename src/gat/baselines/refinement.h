@@ -1,0 +1,44 @@
+#ifndef GAT_BASELINES_REFINEMENT_H_
+#define GAT_BASELINES_REFINEMENT_H_
+
+#include "gat/core/match.h"
+#include "gat/core/order_match.h"
+#include "gat/model/query.h"
+#include "gat/model/trajectory.h"
+#include "gat/search/search_stats.h"
+
+namespace gat {
+
+/// Shared candidate-refinement step: all searchers compute the final
+/// distances with the same kernels (the paper's experimental setup,
+/// Section VII-A: the four algorithms "only differ in the index structure
+/// and how they retrieve candidates").
+///
+/// Returns the query distance of `trajectory` (Dmm for ATSQ, Dmom for
+/// OATSQ) or kInfDist when it is not a (order-sensitive) match or its Dmom
+/// provably exceeds `threshold`. Updates rejection counters in `stats`.
+inline double RefineCandidate(const Trajectory& trajectory, const Query& query,
+                              QueryKind kind, double threshold,
+                              SearchStats& stats) {
+  // Fetching the candidate's record is one (simulated) disk read — the
+  // dominant cost of the paper's disk-resident baselines.
+  ++stats.disk_reads;
+  if (!CoversQueryActivities(trajectory, query)) {
+    ++stats.activity_rejected;
+    return kInfDist;
+  }
+  if (kind == QueryKind::kAtsq) {
+    ++stats.distance_computations;
+    return MinMatchDistance(trajectory, query);
+  }
+  if (!PassesMibValidation(trajectory, query)) {
+    ++stats.mib_rejected;
+    return kInfDist;
+  }
+  ++stats.distance_computations;
+  return MinOrderSensitiveMatchDistance(trajectory, query, threshold);
+}
+
+}  // namespace gat
+
+#endif  // GAT_BASELINES_REFINEMENT_H_

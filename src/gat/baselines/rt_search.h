@@ -1,0 +1,41 @@
+#ifndef GAT_BASELINES_RT_SEARCH_H_
+#define GAT_BASELINES_RT_SEARCH_H_
+
+#include <cstdint>
+
+#include "gat/core/searcher.h"
+#include "gat/model/dataset.h"
+#include "gat/rtree/rtree.h"
+
+namespace gat {
+
+/// The RT baseline (Section III-B): all trajectory points in one R-tree;
+/// candidates are discovered in increasing spatial distance via one
+/// incremental nearest-neighbour stream per query location — the k-BCT
+/// search of Chen et al. adapted to activity trajectories. The Lemma-2
+/// bound (best match distance lower-bounds the minimum match distance)
+/// gives the termination test: when the k-th smallest Dmm/Dmom found so far
+/// drops below the sum of the per-stream search radii, no unseen trajectory
+/// can improve the result.
+class RtSearcher : public Searcher {
+ public:
+  /// `batch` = how many points are popped per round before the bound is
+  /// re-checked (the analogue of GAT's lambda).
+  explicit RtSearcher(const Dataset& dataset, uint32_t batch = 64,
+                      int max_node_entries = 32);
+
+  ResultList Search(const Query& query, size_t k, QueryKind kind,
+                    SearchStats* stats = nullptr) const override;
+  std::string name() const override { return "RT"; }
+
+  const RTree& tree() const { return tree_; }
+
+ private:
+  const Dataset& dataset_;
+  RTree tree_;
+  uint32_t batch_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_BASELINES_RT_SEARCH_H_

@@ -1,0 +1,30 @@
+#ifndef GAT_COMMON_CHECK_H_
+#define GAT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Lightweight invariant checking.
+///
+/// GAT_CHECK is always on (index construction and query planning are not
+/// hot paths); GAT_DCHECK compiles away in release builds and is used inside
+/// per-point kernels. Following the Google style guide we do not use
+/// exceptions; a failed check aborts with a source location.
+#define GAT_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GAT_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define GAT_DCHECK(cond) GAT_CHECK(cond)
+#else
+#define GAT_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // GAT_COMMON_CHECK_H_

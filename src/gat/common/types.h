@@ -1,0 +1,45 @@
+#ifndef GAT_COMMON_TYPES_H_
+#define GAT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+/// Fundamental identifier and numeric types shared across the library.
+///
+/// The library follows the paper's data model (Zheng et al., ICDE 2013,
+/// Section II): activities are opaque entries of a pre-defined vocabulary,
+/// trajectories are sequences of geo-points each tagged with a set of
+/// activity IDs.
+namespace gat {
+
+/// Identifier of an activity in the vocabulary. After the dataset is
+/// finalized, activity IDs are re-ranked so that ID 0 is the most frequent
+/// activity (required by the TAS sketch construction, Section IV).
+using ActivityId = uint32_t;
+
+/// Identifier of a trajectory within a dataset (dense, 0-based).
+using TrajectoryId = uint32_t;
+
+/// Index of a point within a single trajectory (0-based).
+using PointIndex = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+/// Distances are non-negative; +infinity encodes "no match exists"
+/// (e.g. Dmpm of a trajectory that cannot cover the query activities).
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Bitmask over the activities of a *single query point*. Each query point
+/// carries at most `kMaxQueryActivities` activities (the paper evaluates
+/// |q.Phi| in 1..5), so subsets of q.Phi fit comfortably in 32 bits.
+using ActivityMask = uint32_t;
+
+/// Upper bound on |q.Phi| accepted by the match-distance kernels. The
+/// Algorithm-3 hash table is dense over subsets of q.Phi, i.e. 2^|q.Phi|
+/// entries, so this cap also bounds kernel memory.
+inline constexpr int kMaxQueryActivities = 16;
+
+}  // namespace gat
+
+#endif  // GAT_COMMON_TYPES_H_

@@ -1,0 +1,111 @@
+#include "gat/core/match.h"
+
+#include <algorithm>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+ActivityMask ComputeMask(const std::vector<ActivityId>& query_activities,
+                         const std::vector<ActivityId>& point_activities) {
+  ActivityMask mask = 0;
+  const size_t bits =
+      std::min<size_t>(query_activities.size(), kMaxQueryActivities);
+  // Merge over two sorted lists.
+  size_t qi = 0;
+  size_t pi = 0;
+  while (qi < bits && pi < point_activities.size()) {
+    if (query_activities[qi] < point_activities[pi]) {
+      ++qi;
+    } else if (point_activities[pi] < query_activities[qi]) {
+      ++pi;
+    } else {
+      mask |= ActivityMask{1} << qi;
+      ++qi;
+      ++pi;
+    }
+  }
+  return mask;
+}
+
+std::vector<MatchPoint> CollectMatchPoints(const Trajectory& trajectory,
+                                           const QueryPoint& query_point) {
+  std::vector<MatchPoint> out;
+  const auto& points = trajectory.points();
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    const ActivityMask mask =
+        ComputeMask(query_point.activities, points[i].activities);
+    if (mask == 0) continue;
+    out.push_back(MatchPoint{
+        Distance(points[i].location, query_point.location), mask, i});
+  }
+  return out;
+}
+
+double MinPointMatchDistance(const Trajectory& trajectory,
+                             const QueryPoint& query_point) {
+  if (query_point.activities.empty()) return 0.0;
+  auto cp = CollectMatchPoints(trajectory, query_point);
+  return gat::MinPointMatchDistance(
+             std::move(cp),
+             static_cast<int>(std::min<size_t>(query_point.activities.size(),
+                                               kMaxQueryActivities)))
+      .distance;
+}
+
+double MinMatchDistance(const Trajectory& trajectory, const Query& query) {
+  // Lemma 1: Dmm(Q, Tr) = sum_i Dmpm(q_i, Tr).
+  double total = 0.0;
+  for (const auto& q : query.points()) {
+    const double d = MinPointMatchDistance(trajectory, q);
+    if (d == kInfDist) return kInfDist;
+    total += d;
+  }
+  return total;
+}
+
+double BestMatchDistance(const Trajectory& trajectory, const Query& query) {
+  if (trajectory.empty()) return kInfDist;
+  double total = 0.0;
+  for (const auto& q : query.points()) {
+    double best = kInfDist;
+    for (const auto& p : trajectory.points()) {
+      best = std::min(best, Distance(p.location, q.location));
+    }
+    total += best;
+  }
+  return total;
+}
+
+MinimumMatch ComputeMinimumMatch(const Trajectory& trajectory,
+                                 const Query& query) {
+  MinimumMatch result;
+  result.witnesses.resize(query.size());
+  double total = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    const auto& q = query[i];
+    if (q.activities.empty()) continue;
+    auto cp = CollectMatchPoints(trajectory, q);
+    const double d = ExhaustiveMinPointMatch(
+        cp,
+        static_cast<int>(
+            std::min<size_t>(q.activities.size(), kMaxQueryActivities)),
+        &result.witnesses[i]);
+    if (d == kInfDist) {
+      for (auto& w : result.witnesses) w.clear();
+      return result;  // distance stays kInfDist
+    }
+    total += d;
+  }
+  result.distance = total;
+  return result;
+}
+
+bool CoversQueryActivities(const Trajectory& trajectory, const Query& query) {
+  const auto demanded = query.ActivityUnion();
+  const auto available = trajectory.ActivityUnion();
+  return std::includes(available.begin(), available.end(), demanded.begin(),
+                       demanded.end());
+}
+
+}  // namespace gat

@@ -1,0 +1,59 @@
+#ifndef GAT_CORE_MATCH_H_
+#define GAT_CORE_MATCH_H_
+
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/core/point_match.h"
+#include "gat/model/query.h"
+#include "gat/model/trajectory.h"
+
+namespace gat {
+
+/// Bitmask of `query_activities` (sorted) carried by `point_activities`
+/// (sorted): bit i is set iff query_activities[i] appears in
+/// point_activities. At most kMaxQueryActivities query activities are
+/// considered.
+ActivityMask ComputeMask(const std::vector<ActivityId>& query_activities,
+                         const std::vector<ActivityId>& point_activities);
+
+/// Extracts the candidate point set CP of Algorithm 3 from a trajectory:
+/// every point sharing at least one activity with q.Phi, annotated with its
+/// distance to q and activity mask. Returned in trajectory (point index)
+/// order.
+std::vector<MatchPoint> CollectMatchPoints(const Trajectory& trajectory,
+                                           const QueryPoint& query_point);
+
+/// Dmpm(q, Tr) (Definition 4) via Algorithm 3.
+double MinPointMatchDistance(const Trajectory& trajectory,
+                             const QueryPoint& query_point);
+
+/// Dmm(Q, Tr) (Definition 6, computed per Lemma 1 as the sum of per-query-
+/// point minimum point match distances). kInfDist when Tr is not a match
+/// for Q (some q in Q has no point match).
+double MinMatchDistance(const Trajectory& trajectory, const Query& query);
+
+/// Dbm(Q, Tr): the best match distance of Chen et al. — sum over q in Q of
+/// the distance to the spatially nearest point of Tr, ignoring activities.
+/// Always a lower bound of Dmm (Lemma 2). kInfDist for empty trajectories.
+double BestMatchDistance(const Trajectory& trajectory, const Query& query);
+
+/// The minimum match Tr.MM(Q) with witnesses: per query point, the point
+/// indices of one minimum point match (Definition 4). Returns kInfDist and
+/// leaves `witnesses` with empty entries when Tr is not a match.
+struct MinimumMatch {
+  double distance = kInfDist;
+  /// witnesses[i] = sorted point indices of Tr.MPM(q_i).
+  std::vector<std::vector<PointIndex>> witnesses;
+};
+MinimumMatch ComputeMinimumMatch(const Trajectory& trajectory,
+                                 const Query& query);
+
+/// True iff the union of Tr's activities covers Q's demanded activity
+/// union — the "whole match" validity condition (Definition 5). This is
+/// the exact predicate that TAS/APL validation approximates.
+bool CoversQueryActivities(const Trajectory& trajectory, const Query& query);
+
+}  // namespace gat
+
+#endif  // GAT_CORE_MATCH_H_

@@ -1,0 +1,146 @@
+#include "gat/core/order_match.h"
+
+#include <algorithm>
+
+#include "gat/common/check.h"
+#include "gat/core/match.h"
+
+namespace gat {
+
+MatchingIndexBound ComputeMib(const Trajectory& trajectory,
+                              const QueryPoint& query_point) {
+  MatchingIndexBound mib;
+  const auto& points = trajectory.points();
+  for (PointIndex i = 0; i < points.size(); ++i) {
+    if (!points[i].HasAnyActivity(query_point.activities)) continue;
+    if (!mib.valid) {
+      mib.lb = i;
+      mib.valid = true;
+    }
+    mib.ub = i;
+  }
+  return mib;
+}
+
+bool PassesMibValidation(const Trajectory& trajectory, const Query& query) {
+  std::vector<MatchingIndexBound> mibs;
+  mibs.reserve(query.size());
+  for (const auto& q : query.points()) {
+    MatchingIndexBound mib = ComputeMib(trajectory, q);
+    if (!mib.valid) return false;
+    mibs.push_back(mib);
+  }
+  for (size_t i = 0; i < mibs.size(); ++i) {
+    for (size_t j = i + 1; j < mibs.size(); ++j) {
+      if (mibs[i].lb > mibs[j].ub) return false;
+    }
+  }
+  return true;
+}
+
+OrderMatchInput BuildOrderMatchInput(const Trajectory& trajectory,
+                                     const Query& query) {
+  OrderMatchInput input;
+  input.trajectory_length = trajectory.size();
+  input.match_points.reserve(query.size());
+  input.activity_counts.reserve(query.size());
+  for (const auto& q : query.points()) {
+    input.match_points.push_back(CollectMatchPoints(trajectory, q));
+    input.activity_counts.push_back(static_cast<int>(
+        std::min<size_t>(q.activities.size(), kMaxQueryActivities)));
+  }
+  return input;
+}
+
+namespace {
+
+/// Shared DP core. When `g_out` is non-null the full matrix is recorded and
+/// threshold pruning is disabled (diagnostic mode).
+double DmomCore(const OrderMatchInput& input, double pruning_threshold,
+                std::vector<std::vector<double>>* g_out) {
+  const size_t m = input.match_points.size();
+  const size_t n = input.trajectory_length;
+  GAT_CHECK(m == input.activity_counts.size());
+  if (m == 0) return 0.0;
+  if (n == 0) return kInfDist;
+
+  if (g_out != nullptr) {
+    g_out->assign(m, std::vector<double>(n, kInfDist));
+    pruning_threshold = kInfDist;
+  }
+
+  // prev[j] holds G(i-1, j+1); the guardian row G(0, *) = 0 (Algorithm 4,
+  // line 1).
+  std::vector<double> prev(n, 0.0);
+  std::vector<double> curr(n, kInfDist);
+
+  // match_at[j] = the MatchPoint of q_i at trajectory position j, or
+  // nullptr. Rebuilt per row i.
+  std::vector<const MatchPoint*> match_at(n);
+
+  for (size_t i = 0; i < m; ++i) {
+    std::fill(match_at.begin(), match_at.end(), nullptr);
+    for (const MatchPoint& mp : input.match_points[i]) {
+      GAT_CHECK(mp.point_index < n);
+      match_at[mp.point_index] = &mp;
+    }
+    const int bits = std::max(1, input.activity_counts[i]);
+    const bool no_activities = input.activity_counts[i] == 0;
+    PointMatchTable table(bits);
+
+    for (size_t j = 0; j < n; ++j) {
+      double best = kInfDist;
+      if (no_activities) {
+        // Degenerate q_i with empty Phi: Dmpm over any window is 0, so
+        // G(i, j) = min_{k<=j} G(i-1, k) = G(i-1, j) by Lemma 4.
+        best = prev[j];
+      } else {
+        // Window scan: k descends from j to 0 (paper's j..1), growing the
+        // window Tr[k..j] by prepending p_k into the incremental table.
+        table.Reset();
+        for (size_t k = j + 1; k-- > 0;) {
+          if (prev[k] == kInfDist) {
+            // Lemma 4(1): G(i-1, k') is infinite for all k' < k as well.
+            break;
+          }
+          if (match_at[k] != nullptr) {
+            table.AddPoint(match_at[k]->mask, match_at[k]->distance);
+          }
+          const double window_dmpm = table.CurrentDistance();
+          if (window_dmpm == kInfDist) continue;
+          best = std::min(best, prev[k] + window_dmpm);
+        }
+      }
+      curr[j] = best;
+      if (g_out != nullptr) (*g_out)[i][j] = best;
+    }
+
+    // Algorithm 4, line 9: if even the unconstrained tail G(i, n) exceeds
+    // the running k-th best Dmom, Lemma 4(2) guarantees G(m, n) does too.
+    if (curr[n - 1] > pruning_threshold) return kInfDist;
+    prev.swap(curr);
+    std::fill(curr.begin(), curr.end(), kInfDist);
+  }
+  return prev[n - 1];
+}
+
+}  // namespace
+
+double MinOrderSensitiveMatchDistance(const OrderMatchInput& input,
+                                      double pruning_threshold) {
+  return DmomCore(input, pruning_threshold, nullptr);
+}
+
+double MinOrderSensitiveMatchDistance(const Trajectory& trajectory,
+                                      const Query& query,
+                                      double pruning_threshold) {
+  return MinOrderSensitiveMatchDistance(BuildOrderMatchInput(trajectory, query),
+                                        pruning_threshold);
+}
+
+double ComputeDmomMatrix(const OrderMatchInput& input,
+                         std::vector<std::vector<double>>* g) {
+  return DmomCore(input, kInfDist, g);
+}
+
+}  // namespace gat

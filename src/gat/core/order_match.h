@@ -1,0 +1,76 @@
+#ifndef GAT_CORE_ORDER_MATCH_H_
+#define GAT_CORE_ORDER_MATCH_H_
+
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/core/point_match.h"
+#include "gat/model/query.h"
+#include "gat/model/trajectory.h"
+
+namespace gat {
+
+/// The matching index bound MIB(q) = [lb, ub] of Section VI-B: the smallest
+/// and greatest trajectory position index among points carrying at least
+/// one activity of q.Phi. `valid` is false when no such point exists.
+struct MatchingIndexBound {
+  PointIndex lb = 0;
+  PointIndex ub = 0;
+  bool valid = false;
+};
+
+/// Computes MIB(q) for one query point over a trajectory.
+MatchingIndexBound ComputeMib(const Trajectory& trajectory,
+                              const QueryPoint& query_point);
+
+/// Order validation of Section VI-B: a candidate can be eliminated when two
+/// query points q_i, q_j (i < j) have MIB(q_i).lb > MIB(q_j).ub — their
+/// point matches cannot comply with the order q_i -> q_j. Also fails when
+/// any q has no match point at all. May still admit false positives; the
+/// Dmom DP is the final arbiter.
+bool PassesMibValidation(const Trajectory& trajectory, const Query& query);
+
+/// Low-level inputs to the Dmom dynamic program, decoupled from geometry so
+/// that tests can feed the paper's Figure-1 distance matrices verbatim.
+///
+/// For each query point i: `match_points[i]` lists, in ascending trajectory
+/// position, the points of Tr carrying >= 1 activity of q_i.Phi with their
+/// distances and masks; `activity_counts[i]` = |q_i.Phi|.
+struct OrderMatchInput {
+  std::vector<std::vector<MatchPoint>> match_points;
+  std::vector<int> activity_counts;
+  size_t trajectory_length = 0;
+};
+
+/// Builds the DP input from a trajectory and query.
+OrderMatchInput BuildOrderMatchInput(const Trajectory& trajectory,
+                                     const Query& query);
+
+/// Algorithm 4: the minimum order-sensitive match distance Dmom(Q, Tr)
+/// via the dynamic program over G(i, j) with
+///     G(i, j) = min_{1<=k<=j} { G(i-1, k) + Dmpm(q_i, Tr[k..j]) }   (Eq. 1)
+/// using the incremental point-match table for the inner window scan and
+/// the two Lemma-4 monotonicity cuts:
+///   * the k-loop stops at the first k with G(i-1, k) = +inf, and
+///   * the whole computation aborts (returning kInfDist) as soon as
+///     G(i, |Tr|) exceeds `pruning_threshold` (the k-th smallest Dmom seen
+///     so far, Algorithm 4 line 9).
+///
+/// Returns kInfDist when no order-sensitive match exists or when pruned.
+double MinOrderSensitiveMatchDistance(const OrderMatchInput& input,
+                                      double pruning_threshold);
+
+/// Convenience overload on (trajectory, query).
+double MinOrderSensitiveMatchDistance(const Trajectory& trajectory,
+                                      const Query& query,
+                                      double pruning_threshold = kInfDist);
+
+/// Test/diagnostic variant that materializes the full matrix G
+/// (rows 1..m, cols 1..n; g[i-1][j-1] = G(i,j)); no threshold pruning.
+/// Returns G(m, n).
+double ComputeDmomMatrix(const OrderMatchInput& input,
+                         std::vector<std::vector<double>>* g);
+
+}  // namespace gat
+
+#endif  // GAT_CORE_ORDER_MATCH_H_

@@ -1,0 +1,27 @@
+#include "gat/core/result_set.h"
+
+#include <cmath>
+
+namespace gat {
+
+std::string ToString(QueryKind kind) {
+  return kind == QueryKind::kAtsq ? "ATSQ" : "OATSQ";
+}
+
+ResultList ToResultList(const TopKCollector& collector) {
+  ResultList out;
+  for (const auto& e : collector.SortedResults()) {
+    out.push_back(SearchResult{e.trajectory, e.distance});
+  }
+  return out;
+}
+
+bool SameDistances(const ResultList& a, const ResultList& b, double epsilon) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].distance - b[i].distance) > epsilon) return false;
+  }
+  return true;
+}
+
+}  // namespace gat

@@ -1,0 +1,43 @@
+#ifndef GAT_CORE_RESULT_SET_H_
+#define GAT_CORE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+/// Query flavour: ATSQ (order-free, Section II) or OATSQ (order-sensitive,
+/// Section VI).
+enum class QueryKind {
+  kAtsq,
+  kOatsq,
+};
+
+std::string ToString(QueryKind kind);
+
+/// One ranked answer of a similarity query.
+struct SearchResult {
+  TrajectoryId trajectory = kInvalidId;
+  double distance = kInfDist;
+
+  bool operator==(const SearchResult& other) const {
+    return trajectory == other.trajectory && distance == other.distance;
+  }
+};
+
+using ResultList = std::vector<SearchResult>;
+
+/// Converts a TopKCollector into an ascending-distance result list.
+ResultList ToResultList(const TopKCollector& collector);
+
+/// True when two result lists agree on distances (within `epsilon`).
+/// Trajectory IDs are allowed to differ on equal-distance ties; every
+/// correct searcher must produce the same distance vector.
+bool SameDistances(const ResultList& a, const ResultList& b, double epsilon);
+
+}  // namespace gat
+
+#endif  // GAT_CORE_RESULT_SET_H_

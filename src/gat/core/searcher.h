@@ -1,0 +1,32 @@
+#ifndef GAT_CORE_SEARCHER_H_
+#define GAT_CORE_SEARCHER_H_
+
+#include <string>
+
+#include "gat/core/result_set.h"
+#include "gat/model/query.h"
+#include "gat/search/search_stats.h"
+
+namespace gat {
+
+/// Common interface of the four competitors evaluated in Section VII:
+/// GAT, IL, RT and IRT. They differ only in indexing structure and
+/// candidate retrieval; all share the same Dmm / Dmom refinement kernels
+/// (the paper makes the same methodological point).
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Top-k search. Results are sorted by ascending distance with ties
+  /// broken by trajectory ID. `stats` (optional) receives per-query
+  /// counters.
+  virtual ResultList Search(const Query& query, size_t k, QueryKind kind,
+                            SearchStats* stats = nullptr) const = 0;
+
+  /// Short display name ("GAT", "IL", "RT", "IRT").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_CORE_SEARCHER_H_

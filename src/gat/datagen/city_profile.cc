@@ -1,0 +1,76 @@
+#include "gat/datagen/city_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gat {
+
+namespace {
+
+uint32_t Scaled(uint32_t value, double scale, uint32_t floor_value) {
+  return std::max(floor_value,
+                  static_cast<uint32_t>(std::lround(value * scale)));
+}
+
+}  // namespace
+
+CityProfile CityProfile::LosAngeles(double scale) {
+  CityProfile p;
+  p.name = "LA";
+  p.width_km = 70.0;
+  p.height_km = 55.0;
+  p.num_hotspots = 96;
+  p.hotspot_sigma_km = 1.6;
+  p.num_trajectories = Scaled(31557, scale, 50);
+  p.num_venues = Scaled(215614, scale, 500);
+  p.vocabulary_size = Scaled(87567, scale, 200);
+  // Table IV: 3,164,124 assignments / 31,557 trajectories ~= 100 per
+  // trajectory; venues per trajectory derived from check-in volume:
+  // LA trajectories are long and activity-dense (the paper notes LA
+  // "contains more activities averagely", which slows every method down).
+  p.mean_points_per_trajectory = 34.0;
+  p.mean_activities_per_point = 3.0;
+  p.zipf_theta = 0.85;
+  p.locality = 0.95;
+  p.seed = 20130001;
+  return p;
+}
+
+CityProfile CityProfile::NewYork(double scale) {
+  CityProfile p;
+  p.name = "NY";
+  p.width_km = 55.0;
+  p.height_km = 60.0;
+  p.num_hotspots = 120;
+  p.hotspot_sigma_km = 1.2;
+  p.num_trajectories = Scaled(49027, scale, 50);
+  p.num_venues = Scaled(206416, scale, 500);
+  p.vocabulary_size = Scaled(64649, scale, 200);
+  // Table IV: 2,056,785 / 49,027 ~= 42 assignments per trajectory.
+  p.mean_points_per_trajectory = 21.0;
+  p.mean_activities_per_point = 2.0;
+  p.zipf_theta = 0.85;
+  p.locality = 0.95;
+  p.seed = 20130002;
+  return p;
+}
+
+CityProfile CityProfile::Testing(uint32_t trajectories, uint64_t seed) {
+  CityProfile p;
+  p.name = "TEST";
+  p.width_km = 20.0;
+  p.height_km = 20.0;
+  p.num_hotspots = 16;
+  p.hotspot_sigma_km = 1.5;
+  p.num_trajectories = trajectories;
+  p.num_venues = std::max<uint32_t>(100, trajectories * 4);
+  p.vocabulary_size = 64;
+  p.mean_points_per_trajectory = 12.0;
+  p.mean_activities_per_point = 2.0;
+  p.zipf_theta = 0.7;
+  p.locality = 0.9;
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace gat

@@ -1,0 +1,151 @@
+#include "gat/datagen/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+QueryGenerator::QueryGenerator(const Dataset& dataset,
+                               const QueryWorkloadParams& params)
+    : dataset_(dataset), params_(params), rng_(params.seed) {
+  GAT_CHECK(dataset.finalized());
+  GAT_CHECK(params.num_query_points >= 1);
+  if (params_.min_activity_support == 0) {
+    params_.min_activity_support =
+        std::max<uint64_t>(10, dataset.size());
+  }
+  // A trajectory is eligible when it has at least |Q| points that carry at
+  // least one activity.
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    const auto& tr = dataset.trajectory(t);
+    uint32_t active_points = 0;
+    for (const auto& pt : tr.points()) {
+      if (!pt.activities.empty()) ++active_points;
+    }
+    if (active_points >= params.num_query_points) eligible_.push_back(t);
+  }
+  GAT_CHECK(!eligible_.empty());
+}
+
+Query QueryGenerator::TryOnce(bool& diameter_ok) {
+  const TrajectoryId t =
+      eligible_[rng_.NextU32(static_cast<uint32_t>(eligible_.size()))];
+  const auto& tr = dataset_.trajectory(t);
+
+  const auto& freqs = dataset_.activity_frequencies();
+  auto supported = [&](ActivityId a) {
+    return a < freqs.size() && freqs[a] >= params_.min_activity_support;
+  };
+  auto supported_count = [&](const TrajectoryPoint& pt) {
+    uint32_t n = 0;
+    for (ActivityId a : pt.activities) {
+      if (supported(a)) ++n;
+    }
+    return n;
+  };
+
+  // Candidate query locations: points carrying enough *recognisable*
+  // activities themselves. Demanding activities the location does not
+  // offer would make even the source trajectory a poor match and inflate
+  // every match distance. Prefer points satisfying the full |q.Phi|
+  // budget; degrade gracefully to >= 1 supported activity, then to any
+  // activity-bearing point (degenerate datasets).
+  std::vector<PointIndex> active;
+  for (PointIndex i = 0; i < tr.size(); ++i) {
+    if (supported_count(tr[i]) >= params_.activities_per_point) {
+      active.push_back(i);
+    }
+  }
+  if (active.size() < params_.num_query_points) {
+    active.clear();
+    for (PointIndex i = 0; i < tr.size(); ++i) {
+      if (supported_count(tr[i]) >= 1) active.push_back(i);
+    }
+  }
+  if (active.size() < params_.num_query_points) {
+    active.clear();
+    for (PointIndex i = 0; i < tr.size(); ++i) {
+      if (!tr[i].activities.empty()) active.push_back(i);
+    }
+  }
+  GAT_CHECK(active.size() >= params_.num_query_points);
+
+  // Sample |Q| distinct locations, kept in trajectory order.
+  const auto picks = rng_.SampleDistinct(
+      static_cast<uint32_t>(active.size()), params_.num_query_points);
+
+  std::vector<QueryPoint> qpoints;
+  qpoints.reserve(picks.size());
+  for (uint32_t pick : picks) {
+    const PointIndex idx = active[pick];
+    QueryPoint qp;
+    qp.location = tr[idx].location;
+    // The point's most recognisable activities first (IDs are frequency
+    // ranked: ascending ID = descending global frequency — users query
+    // "coffee", not the unique token of a single tip).
+    std::vector<ActivityId> pool;
+    for (ActivityId a : tr[idx].activities) {
+      if (supported(a)) pool.push_back(a);
+    }
+    if (pool.empty()) pool = tr[idx].activities;
+    const uint32_t take = std::min<uint32_t>(
+        params_.activities_per_point, static_cast<uint32_t>(pool.size()));
+    qp.activities.assign(pool.begin(), pool.begin() + take);
+    qpoints.push_back(std::move(qp));
+  }
+
+  Query query(std::move(qpoints));
+  const double diameter = query.Diameter();
+  diameter_ok =
+      params_.num_query_points < 2 ||
+      std::abs(diameter - params_.diameter_km) <=
+          params_.diameter_km * params_.diameter_tolerance;
+  return query;
+}
+
+Query QueryGenerator::Next() {
+  constexpr int kMaxAttempts = 200;
+  Query best;
+  double best_error = kInfDist;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    bool ok = false;
+    Query q = TryOnce(ok);
+    if (ok) return q;
+    const double err = std::abs(q.Diameter() - params_.diameter_km);
+    if (err < best_error) {
+      best_error = err;
+      best = std::move(q);
+    }
+  }
+  // Fall back: rescale the best attempt about its centroid so the diameter
+  // matches the requested delta(Q) exactly (substitution documented in the
+  // header; activities are untouched so match semantics are unchanged).
+  const double diameter = best.Diameter();
+  if (diameter <= 0.0 || params_.num_query_points < 2) return best;
+  const double factor = params_.diameter_km / diameter;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (const auto& qp : best.points()) {
+    cx += qp.location.x;
+    cy += qp.location.y;
+  }
+  cx /= static_cast<double>(best.size());
+  cy /= static_cast<double>(best.size());
+  std::vector<QueryPoint> scaled = best.points();
+  for (auto& qp : scaled) {
+    qp.location.x = cx + (qp.location.x - cx) * factor;
+    qp.location.y = cy + (qp.location.y - cy) * factor;
+  }
+  return Query(std::move(scaled));
+}
+
+std::vector<Query> QueryGenerator::Workload() {
+  std::vector<Query> out;
+  out.reserve(params_.num_queries);
+  for (uint32_t i = 0; i < params_.num_queries; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace gat

@@ -1,0 +1,37 @@
+#include "gat/geo/point.h"
+
+#include <cstdio>
+
+namespace gat {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0088;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+Point ProjectLonLat(double lon_deg, double lat_deg, double ref_lat_deg) {
+  Point p;
+  p.x = kEarthRadiusKm * lon_deg * kDegToRad * std::cos(ref_lat_deg * kDegToRad);
+  p.y = kEarthRadiusKm * lat_deg * kDegToRad;
+  return p;
+}
+
+std::string ToString(const Point& p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.4f, %.4f)", p.x, p.y);
+  return buf;
+}
+
+}  // namespace gat

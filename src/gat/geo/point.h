@@ -1,0 +1,41 @@
+#ifndef GAT_GEO_POINT_H_
+#define GAT_GEO_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace gat {
+
+/// A 2-D point in a planar city coordinate system measured in kilometres.
+///
+/// The paper works on metro-scale areas (Los Angeles / New York check-ins,
+/// query diameters 5-50 km) where an equirectangular projection of WGS84
+/// coordinates onto a local plane is accurate to well under 0.5%; the
+/// reproduction therefore uses planar Euclidean distance in km directly.
+/// `ProjectLonLat` converts raw longitude/latitude into this system for
+/// users loading real check-in data.
+struct Point {
+  double x = 0.0;  ///< east-west coordinate, km
+  double y = 0.0;  ///< north-south coordinate, km
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+/// Euclidean distance in km.
+double Distance(const Point& a, const Point& b);
+
+/// Squared distance (avoids sqrt on comparison-only paths).
+double DistanceSquared(const Point& a, const Point& b);
+
+/// Equirectangular projection of (lon, lat) degrees around a reference
+/// latitude into planar km. Suitable for metro-scale extents.
+Point ProjectLonLat(double lon_deg, double lat_deg, double ref_lat_deg);
+
+/// Debug representation "(x, y)".
+std::string ToString(const Point& p);
+
+}  // namespace gat
+
+#endif  // GAT_GEO_POINT_H_

@@ -1,0 +1,33 @@
+#include "gat/geo/zorder.h"
+
+namespace gat {
+namespace zorder {
+
+uint32_t SpreadBits16(uint32_t v) {
+  v &= 0x0000FFFF;
+  v = (v | (v << 8)) & 0x00FF00FF;
+  v = (v | (v << 4)) & 0x0F0F0F0F;
+  v = (v | (v << 2)) & 0x33333333;
+  v = (v | (v << 1)) & 0x55555555;
+  return v;
+}
+
+uint32_t CompactBits16(uint32_t v) {
+  v &= 0x55555555;
+  v = (v | (v >> 1)) & 0x33333333;
+  v = (v | (v >> 2)) & 0x0F0F0F0F;
+  v = (v | (v >> 4)) & 0x00FF00FF;
+  v = (v | (v >> 8)) & 0x0000FFFF;
+  return v;
+}
+
+uint32_t Encode(uint32_t col, uint32_t row) {
+  return SpreadBits16(col) | (SpreadBits16(row) << 1);
+}
+
+uint32_t DecodeCol(uint32_t code) { return CompactBits16(code); }
+
+uint32_t DecodeRow(uint32_t code) { return CompactBits16(code >> 1); }
+
+}  // namespace zorder
+}  // namespace gat

@@ -1,0 +1,44 @@
+#ifndef GAT_GEO_ZORDER_H_
+#define GAT_GEO_ZORDER_H_
+
+#include <cstdint>
+
+namespace gat {
+
+/// Z-order (Morton) space-filling curve utilities.
+///
+/// The GAT index assigns every grid cell a numerical ID by interleaving the
+/// bits of its (col, row) coordinates (Section IV: "Each cell can be
+/// assigned a unique numerical ID by using space filling curve"). Cell IDs
+/// at level `l` use 2*l bits. The curve also gives the parent/child
+/// relation for free: the parent of a Morton code is `code >> 2`, and the
+/// four children of `code` are `code*4 + {0,1,2,3}`.
+namespace zorder {
+
+/// Interleaves the lower 16 bits of `v` with zeros: b15..b0 -> bits at even
+/// positions of the result.
+uint32_t SpreadBits16(uint32_t v);
+
+/// Inverse of SpreadBits16.
+uint32_t CompactBits16(uint32_t v);
+
+/// Morton code of (col, row); both must be < 2^16.
+uint32_t Encode(uint32_t col, uint32_t row);
+
+/// Recovers the column (x) of a Morton code.
+uint32_t DecodeCol(uint32_t code);
+
+/// Recovers the row (y) of a Morton code.
+uint32_t DecodeRow(uint32_t code);
+
+/// Parent Morton code one level up.
+inline uint32_t Parent(uint32_t code) { return code >> 2; }
+
+/// First (smallest) child Morton code one level down; the four children are
+/// FirstChild(code) + {0,1,2,3}.
+inline uint32_t FirstChild(uint32_t code) { return code << 2; }
+
+}  // namespace zorder
+}  // namespace gat
+
+#endif  // GAT_GEO_ZORDER_H_

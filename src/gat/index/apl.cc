@@ -1,0 +1,61 @@
+#include "gat/index/apl.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gat {
+
+Apl::Apl(const Dataset& dataset) {
+  per_trajectory_.resize(dataset.size());
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    const auto& tr = dataset.trajectory(t);
+    // Ordered map keeps activities sorted; point indices arrive ascending.
+    std::map<ActivityId, std::vector<PointIndex>> lists;
+    for (PointIndex i = 0; i < tr.size(); ++i) {
+      for (ActivityId a : tr[i].activities) lists[a].push_back(i);
+    }
+    auto& tp = per_trajectory_[t];
+    tp.offsets.push_back(0);
+    for (auto& [a, pts] : lists) {
+      tp.activities.push_back(a);
+      tp.points.insert(tp.points.end(), pts.begin(), pts.end());
+      tp.offsets.push_back(static_cast<uint32_t>(tp.points.size()));
+    }
+    disk_bytes_ += tp.activities.size() * sizeof(ActivityId) +
+                   tp.offsets.size() * sizeof(uint32_t) +
+                   tp.points.size() * sizeof(PointIndex);
+  }
+}
+
+std::span<const PointIndex> Apl::Postings(TrajectoryId t, ActivityId activity,
+                                          DiskAccessCounter* disk) const {
+  if (disk != nullptr) disk->RecordRead();
+  if (t >= per_trajectory_.size()) return {};
+  const auto& tp = per_trajectory_[t];
+  const auto it =
+      std::lower_bound(tp.activities.begin(), tp.activities.end(), activity);
+  if (it == tp.activities.end() || *it != activity) return {};
+  const size_t idx = static_cast<size_t>(it - tp.activities.begin());
+  return {tp.points.data() + tp.offsets[idx],
+          tp.points.data() + tp.offsets[idx + 1]};
+}
+
+bool Apl::HasAllActivities(TrajectoryId t,
+                           const std::vector<ActivityId>& activities,
+                           DiskAccessCounter* disk) const {
+  if (disk != nullptr) disk->RecordRead();
+  if (t >= per_trajectory_.size()) return activities.empty();
+  const auto& tp = per_trajectory_[t];
+  return std::includes(tp.activities.begin(), tp.activities.end(),
+                       activities.begin(), activities.end());
+}
+
+std::span<const ActivityId> Apl::ActivitiesOf(TrajectoryId t,
+                                              DiskAccessCounter* disk) const {
+  if (disk != nullptr) disk->RecordRead();
+  if (t >= per_trajectory_.size()) return {};
+  const auto& tp = per_trajectory_[t];
+  return {tp.activities.data(), tp.activities.data() + tp.activities.size()};
+}
+
+}  // namespace gat

@@ -1,0 +1,56 @@
+#ifndef GAT_INDEX_APL_H_
+#define GAT_INDEX_APL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gat/common/storage_tier.h"
+#include "gat/common/types.h"
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// Activity Posting List (Section IV, component iv).
+///
+/// For every trajectory and every activity it contains, APL lists the point
+/// indices carrying that activity. The paper stores this on disk ("due to
+/// its high space requirement") and fetches it only during candidate
+/// validation and distance evaluation — every lookup therefore bumps the
+/// DiskAccessCounter so searches can report simulated I/O.
+class Apl {
+ public:
+  explicit Apl(const Dataset& dataset);
+
+  /// Point indices of `activity` within trajectory `t` (ascending); empty
+  /// when the trajectory lacks the activity.
+  std::span<const PointIndex> Postings(TrajectoryId t, ActivityId activity,
+                                       DiskAccessCounter* disk = nullptr) const;
+
+  /// Validation step of Section V-C: does trajectory `t` have a posting
+  /// list for *every* activity in `activities`? Eliminates TAS false
+  /// positives exactly.
+  bool HasAllActivities(TrajectoryId t,
+                        const std::vector<ActivityId>& activities,
+                        DiskAccessCounter* disk = nullptr) const;
+
+  /// Sorted activity IDs of trajectory `t`.
+  std::span<const ActivityId> ActivitiesOf(
+      TrajectoryId t, DiskAccessCounter* disk = nullptr) const;
+
+  size_t DiskBytes() const { return disk_bytes_; }
+
+ private:
+  struct TrajectoryPostings {
+    std::vector<ActivityId> activities;  // sorted
+    std::vector<uint32_t> offsets;       // size + 1
+    std::vector<PointIndex> points;      // concatenated runs
+  };
+
+  std::vector<TrajectoryPostings> per_trajectory_;
+  size_t disk_bytes_ = 0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_INDEX_APL_H_

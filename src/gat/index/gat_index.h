@@ -1,0 +1,76 @@
+#ifndef GAT_INDEX_GAT_INDEX_H_
+#define GAT_INDEX_GAT_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "gat/index/apl.h"
+#include "gat/index/grid.h"
+#include "gat/index/hicl.h"
+#include "gat/index/itl.h"
+#include "gat/index/tas.h"
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// Construction parameters of the GAT index (defaults per Section VII-A).
+struct GatConfig {
+  /// Grid depth d: the space is split into 2^d x 2^d leaf cells
+  /// (default 8 => 256 x 256, the paper's default).
+  int depth = 8;
+
+  /// HICL levels 1..memory_levels stay in main memory; deeper levels are
+  /// disk-tier (the paper keeps levels 1-6 in RAM, 7-8 on disk).
+  int memory_levels = 6;
+
+  /// TAS interval count M.
+  int tas_intervals = 2;
+};
+
+/// The Grid index for Activity Trajectories (Section IV): the hierarchical
+/// quad grid plus its four components — HICL, ITL, TAS, APL — built in one
+/// pass over a finalized dataset.
+class GatIndex {
+ public:
+  GatIndex(const Dataset& dataset, const GatConfig& config = {});
+
+  const GatConfig& config() const { return config_; }
+  const GridGeometry& grid() const { return grid_; }
+  const Hicl& hicl() const { return *hicl_; }
+  const Itl& itl() const { return *itl_; }
+  const Tas& tas() const { return *tas_; }
+  const Apl& apl() const { return *apl_; }
+
+  /// Main-memory vs disk-tier footprint, per component. Figure 8's "memory
+  /// cost" series is `MainMemoryTotal()`.
+  struct MemoryBreakdown {
+    size_t hicl_memory = 0;
+    size_t hicl_disk = 0;
+    size_t itl_memory = 0;
+    size_t tas_memory = 0;
+    size_t apl_disk = 0;
+
+    size_t MainMemoryTotal() const {
+      return hicl_memory + itl_memory + tas_memory;
+    }
+    size_t DiskTotal() const { return hicl_disk + apl_disk; }
+    std::string ToString() const;
+  };
+  MemoryBreakdown memory_breakdown() const;
+
+  /// Wall-clock seconds spent building the index.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  GatConfig config_;
+  GridGeometry grid_;
+  std::unique_ptr<Hicl> hicl_;
+  std::unique_ptr<Itl> itl_;
+  std::unique_ptr<Tas> tas_;
+  std::unique_ptr<Apl> apl_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_INDEX_GAT_INDEX_H_

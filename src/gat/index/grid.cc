@@ -1,0 +1,60 @@
+#include "gat/index/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gat {
+
+namespace {
+// Relative padding so points on the max border fall into the last cell.
+constexpr double kBorderPad = 1e-9;
+}  // namespace
+
+GridGeometry::GridGeometry(const Rect& space, int depth)
+    : space_(space), depth_(depth) {
+  GAT_CHECK(depth >= 1 && depth <= 12);
+  GAT_CHECK(!space.IsEmpty());
+  // Degenerate extents (all points on one line) still need positive cell
+  // sizes.
+  const double min_extent = 1e-6;
+  if (space_.Width() < min_extent) space_.max.x = space_.min.x + min_extent;
+  if (space_.Height() < min_extent) space_.max.y = space_.min.y + min_extent;
+  space_.max.x += space_.Width() * kBorderPad;
+  space_.max.y += space_.Height() * kBorderPad;
+  const double axis = static_cast<double>(CellsPerAxis(depth_));
+  cell_width_leaf_ = space_.Width() / axis;
+  cell_height_leaf_ = space_.Height() / axis;
+}
+
+uint32_t GridGeometry::LeafCode(const Point& p) const {
+  const uint32_t axis = CellsPerAxis(depth_);
+  auto clamp_coord = [axis](double v) {
+    if (v < 0.0) return 0u;
+    if (v >= static_cast<double>(axis)) return axis - 1;
+    return static_cast<uint32_t>(v);
+  };
+  const uint32_t col = clamp_coord((p.x - space_.min.x) / cell_width_leaf_);
+  const uint32_t row = clamp_coord((p.y - space_.min.y) / cell_height_leaf_);
+  return zorder::Encode(col, row);
+}
+
+Rect GridGeometry::CellRect(int level, uint32_t code) const {
+  GAT_DCHECK(level >= 1 && level <= depth_);
+  GAT_DCHECK(code < CellCount(level));
+  const uint32_t col = zorder::DecodeCol(code);
+  const uint32_t row = zorder::DecodeRow(code);
+  const double axis = static_cast<double>(CellsPerAxis(level));
+  const double w = space_.Width() / axis;
+  const double h = space_.Height() / axis;
+  Rect r;
+  r.min = Point{space_.min.x + col * w, space_.min.y + row * h};
+  r.max = Point{r.min.x + w, r.min.y + h};
+  return r;
+}
+
+double GridGeometry::MinDistToCell(const Point& p, int level,
+                                   uint32_t code) const {
+  return MinDist(p, CellRect(level, code));
+}
+
+}  // namespace gat

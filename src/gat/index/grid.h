@@ -1,0 +1,59 @@
+#ifndef GAT_INDEX_GRID_H_
+#define GAT_INDEX_GRID_H_
+
+#include <cstdint>
+
+#include "gat/common/check.h"
+#include "gat/geo/point.h"
+#include "gat/geo/rect.h"
+#include "gat/geo/zorder.h"
+
+namespace gat {
+
+/// The hierarchical quad grid underlying GAT (Section IV).
+///
+/// The spatial region is divided into 2^d x 2^d leaf cells (the d-Grid);
+/// coarser grids (d-1, ..., 1) are formed by merging 2x2 blocks. A cell is
+/// addressed by (level, code) where `code` is its Morton number within its
+/// level; the level-l grid has 4^l cells. Level l's cell `c` has children
+/// 4c..4c+3 at level l+1 — the space-filling-curve numbering of the paper.
+class GridGeometry {
+ public:
+  /// `depth` is the paper's d (1..12). `space` must be non-empty; it is
+  /// padded by a hair so boundary points land inside the last cell.
+  GridGeometry(const Rect& space, int depth);
+
+  int depth() const { return depth_; }
+  const Rect& space() const { return space_; }
+
+  uint32_t CellsPerAxis(int level) const {
+    GAT_DCHECK(level >= 1 && level <= depth_);
+    return 1u << level;
+  }
+
+  /// Total cells at a level (4^level).
+  uint64_t CellCount(int level) const {
+    return uint64_t{1} << (2 * level);
+  }
+
+  /// Morton code of the leaf (level = depth) cell containing `p`; points
+  /// outside the space are clamped to the border cells.
+  uint32_t LeafCode(const Point& p) const;
+
+  /// Geometric extent of cell (level, code).
+  Rect CellRect(int level, uint32_t code) const;
+
+  /// mdist of the candidate-retrieval priority queue: minimum distance
+  /// from `p` to cell (level, code); 0 when inside.
+  double MinDistToCell(const Point& p, int level, uint32_t code) const;
+
+ private:
+  Rect space_;
+  int depth_;
+  double cell_width_leaf_;
+  double cell_height_leaf_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_INDEX_GRID_H_

@@ -1,0 +1,83 @@
+#ifndef GAT_INDEX_HICL_H_
+#define GAT_INDEX_HICL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gat/common/storage_tier.h"
+#include "gat/common/types.h"
+
+namespace gat {
+
+/// Hierarchical Inverted Cell List (Section IV, component i).
+///
+/// For every activity alpha and every grid level l, HICL stores the sorted
+/// Morton codes of the level-l cells that contain alpha somewhere inside
+/// them. The leaf level is built from the data; coarser levels aggregate
+/// children (a parent cell contains alpha iff any child does).
+///
+/// Storage tiers follow the paper: levels 1..memory_levels are main-memory
+/// resident; deeper levels are disk-resident (`h = log4(3B/4C + 1)` for
+/// budget B and vocabulary size C — we expose `MemoryLevelsForBudget` for
+/// that formula and let callers pick). Queries against disk levels bump the
+/// supplied DiskAccessCounter.
+class Hicl {
+ public:
+  /// `leaf_cells_per_activity[a]` = sorted unique leaf Morton codes where
+  /// activity `a` occurs. `depth` = d; `memory_levels` = h in [0, depth].
+  Hicl(int depth, int memory_levels,
+       std::vector<std::vector<uint32_t>> leaf_cells_per_activity);
+
+  int depth() const { return depth_; }
+  int memory_levels() const { return memory_levels_; }
+  uint32_t num_activities() const {
+    return static_cast<uint32_t>(per_activity_.size());
+  }
+
+  /// Does cell (level, code) contain activity `a` anywhere inside it?
+  bool Contains(ActivityId a, int level, uint32_t code,
+                DiskAccessCounter* disk = nullptr) const;
+
+  /// Sorted level-`level` cell codes containing activity `a`.
+  const std::vector<uint32_t>& CellsAt(ActivityId a, int level,
+                                       DiskAccessCounter* disk = nullptr) const;
+
+  /// Sorted unique union of level-`level` cells containing any activity in
+  /// `activities` — the seeding set of the candidate-retrieval search.
+  std::vector<uint32_t> CellsWithAny(const std::vector<ActivityId>& activities,
+                                     int level,
+                                     DiskAccessCounter* disk = nullptr) const;
+
+  /// Appends to `out` the child codes (level+1) of cell (level, code) that
+  /// contain at least one activity in `activities`.
+  void ChildrenWithAny(const std::vector<ActivityId>& activities, int level,
+                       uint32_t code, std::vector<uint32_t>* out,
+                       DiskAccessCounter* disk = nullptr) const;
+
+  /// Bytes held on each tier (4 bytes per stored cell code).
+  size_t MemoryBytes() const { return memory_bytes_; }
+  size_t DiskBytes() const { return disk_bytes_; }
+
+  /// The paper's memory-budget formula: largest h with sum_{i=1..h} 4^i * C
+  /// <= budget_bytes / 4 (each cell-id costs 4 bytes), i.e. the number of
+  /// grid levels whose *worst-case* inverted cell lists fit in the budget.
+  static int MemoryLevelsForBudget(size_t budget_bytes, uint32_t vocabulary,
+                                   int depth);
+
+ private:
+  struct ActivityLists {
+    /// cells[l-1] = sorted codes at level l.
+    std::vector<std::vector<uint32_t>> cells;
+  };
+
+  int depth_;
+  int memory_levels_;
+  std::vector<ActivityLists> per_activity_;
+  size_t memory_bytes_ = 0;
+  size_t disk_bytes_ = 0;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_INDEX_HICL_H_

@@ -1,0 +1,57 @@
+#include "gat/index/itl.h"
+
+#include <algorithm>
+
+namespace gat {
+
+Itl::Itl(Builder builder) {
+  cells_.reserve(builder.size());
+  for (auto& [code, acts] : builder) {
+    CellPostings postings;
+    postings.activities.reserve(acts.size());
+    for (const auto& [a, _] : acts) postings.activities.push_back(a);
+    std::sort(postings.activities.begin(), postings.activities.end());
+    postings.offsets.reserve(postings.activities.size() + 1);
+    postings.offsets.push_back(0);
+    for (ActivityId a : postings.activities) {
+      auto& trajs = acts[a];
+      std::sort(trajs.begin(), trajs.end());
+      trajs.erase(std::unique(trajs.begin(), trajs.end()), trajs.end());
+      postings.trajectories.insert(postings.trajectories.end(), trajs.begin(),
+                                   trajs.end());
+      postings.offsets.push_back(
+          static_cast<uint32_t>(postings.trajectories.size()));
+    }
+    memory_bytes_ += postings.activities.size() * sizeof(ActivityId) +
+                     postings.offsets.size() * sizeof(uint32_t) +
+                     postings.trajectories.size() * sizeof(TrajectoryId) +
+                     sizeof(uint32_t);  // cell key
+    cells_.emplace(code, std::move(postings));
+  }
+}
+
+const Itl::CellPostings* Itl::Find(uint32_t leaf_code) const {
+  auto it = cells_.find(leaf_code);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::span<const TrajectoryId> Itl::Trajectories(uint32_t leaf_code,
+                                                ActivityId activity) const {
+  const CellPostings* cell = Find(leaf_code);
+  if (cell == nullptr) return {};
+  const auto it = std::lower_bound(cell->activities.begin(),
+                                   cell->activities.end(), activity);
+  if (it == cell->activities.end() || *it != activity) return {};
+  const size_t idx = static_cast<size_t>(it - cell->activities.begin());
+  return {cell->trajectories.data() + cell->offsets[idx],
+          cell->trajectories.data() + cell->offsets[idx + 1]};
+}
+
+std::span<const ActivityId> Itl::ActivitiesIn(uint32_t leaf_code) const {
+  const CellPostings* cell = Find(leaf_code);
+  if (cell == nullptr) return {};
+  return {cell->activities.data(),
+          cell->activities.data() + cell->activities.size()};
+}
+
+}  // namespace gat

@@ -1,0 +1,95 @@
+#include "gat/index/tas.h"
+
+#include <algorithm>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+std::vector<Tas::Interval> Tas::PartitionIds(
+    const std::vector<ActivityId>& sorted_ids, int num_intervals) {
+  std::vector<Interval> out;
+  if (sorted_ids.empty()) return out;
+  GAT_CHECK(num_intervals >= 1);
+
+  // Gaps between consecutive IDs; the top (M-1) gaps are the optimal split
+  // positions (Section IV: moving any split from gap g to gap g' < g
+  // increases total width by g - g').
+  struct Gap {
+    ActivityId size;
+    uint32_t after_index;  // split between after_index and after_index+1
+  };
+  std::vector<Gap> gaps;
+  gaps.reserve(sorted_ids.size());
+  for (uint32_t i = 0; i + 1 < sorted_ids.size(); ++i) {
+    GAT_DCHECK(sorted_ids[i + 1] > sorted_ids[i]);
+    gaps.push_back(Gap{sorted_ids[i + 1] - sorted_ids[i], i});
+  }
+  const size_t splits =
+      std::min<size_t>(static_cast<size_t>(num_intervals) - 1, gaps.size());
+  std::partial_sort(gaps.begin(), gaps.begin() + splits, gaps.end(),
+                    [](const Gap& a, const Gap& b) {
+                      if (a.size != b.size) return a.size > b.size;
+                      return a.after_index < b.after_index;  // deterministic
+                    });
+  std::vector<uint32_t> cut_after;
+  cut_after.reserve(splits);
+  for (size_t i = 0; i < splits; ++i) cut_after.push_back(gaps[i].after_index);
+  std::sort(cut_after.begin(), cut_after.end());
+
+  uint32_t start = 0;
+  for (uint32_t cut : cut_after) {
+    out.push_back(Interval{sorted_ids[start], sorted_ids[cut]});
+    start = cut + 1;
+  }
+  out.push_back(Interval{sorted_ids[start], sorted_ids.back()});
+  return out;
+}
+
+Tas::Tas(const std::vector<std::vector<ActivityId>>& activity_sets,
+         int num_intervals)
+    : num_intervals_(num_intervals) {
+  GAT_CHECK(num_intervals >= 1);
+  offsets_.reserve(activity_sets.size() + 1);
+  offsets_.push_back(0);
+  for (const auto& ids : activity_sets) {
+    const auto ivs = PartitionIds(ids, num_intervals);
+    intervals_.insert(intervals_.end(), ivs.begin(), ivs.end());
+    offsets_.push_back(static_cast<uint32_t>(intervals_.size()));
+  }
+}
+
+bool Tas::MightContain(TrajectoryId t, ActivityId a) const {
+  GAT_DCHECK(t + 1 < offsets_.size());
+  const uint32_t begin = offsets_[t];
+  const uint32_t end = offsets_[t + 1];
+  // Binary search over disjoint sorted intervals: find the first interval
+  // whose hi >= a and test its lo.
+  uint32_t lo = begin;
+  uint32_t hi = end;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (intervals_[mid].hi < a) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < end && intervals_[lo].lo <= a;
+}
+
+bool Tas::MightContainAll(TrajectoryId t,
+                          const std::vector<ActivityId>& activities) const {
+  for (ActivityId a : activities) {
+    if (!MightContain(t, a)) return false;
+  }
+  return true;
+}
+
+std::vector<Tas::Interval> Tas::Intervals(TrajectoryId t) const {
+  GAT_DCHECK(t + 1 < offsets_.size());
+  return {intervals_.begin() + offsets_[t],
+          intervals_.begin() + offsets_[t + 1]};
+}
+
+}  // namespace gat

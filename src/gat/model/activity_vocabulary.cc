@@ -1,0 +1,41 @@
+#include "gat/model/activity_vocabulary.h"
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+ActivityId ActivityVocabulary::InternActivity(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const ActivityId id = static_cast<ActivityId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+ActivityId ActivityVocabulary::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidId : it->second;
+}
+
+const std::string& ActivityVocabulary::Name(ActivityId id) const {
+  GAT_CHECK(id < names_.size());
+  return names_[id];
+}
+
+void ActivityVocabulary::Permute(const std::vector<ActivityId>& permutation) {
+  GAT_CHECK(permutation.size() == names_.size());
+  std::vector<std::string> new_names(names_.size());
+  for (size_t old_id = 0; old_id < names_.size(); ++old_id) {
+    const ActivityId new_id = permutation[old_id];
+    GAT_CHECK(new_id < new_names.size());
+    new_names[new_id] = std::move(names_[old_id]);
+  }
+  names_ = std::move(new_names);
+  ids_.clear();
+  for (size_t id = 0; id < names_.size(); ++id) {
+    ids_.emplace(names_[id], static_cast<ActivityId>(id));
+  }
+}
+
+}  // namespace gat

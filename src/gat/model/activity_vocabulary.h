@@ -1,0 +1,48 @@
+#ifndef GAT_MODEL_ACTIVITY_VOCABULARY_H_
+#define GAT_MODEL_ACTIVITY_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gat/common/types.h"
+
+namespace gat {
+
+/// The pre-defined activity vocabulary `A` (Definition 1).
+///
+/// Maps human-readable activity names ("sushi", "jogging", ...) to dense
+/// integer IDs and back. The GAT index requires IDs to be *frequency
+/// ranked* — the paper sorts all activities by their occurrence frequency
+/// in the whole database and assigns continuous numerical IDs (Section IV,
+/// TAS construction) — so the vocabulary supports re-ranking via a
+/// permutation produced by the dataset once all occurrences are counted.
+class ActivityVocabulary {
+ public:
+  ActivityVocabulary() = default;
+
+  /// Interns `name`, returning its ID (existing or freshly assigned).
+  ActivityId InternActivity(const std::string& name);
+
+  /// Returns the ID of `name` or kInvalidId if absent.
+  ActivityId Lookup(const std::string& name) const;
+
+  /// Name of an activity ID.
+  const std::string& Name(ActivityId id) const;
+
+  /// Number of distinct activities.
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// Applies a permutation: `new_id = permutation[old_id]`. The permutation
+  /// must be a bijection over [0, size). Used by
+  /// `Dataset::RankActivitiesByFrequency`.
+  void Permute(const std::vector<ActivityId>& permutation);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ActivityId> ids_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_ACTIVITY_VOCABULARY_H_

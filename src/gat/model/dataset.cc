@@ -1,0 +1,98 @@
+#include "gat/model/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+TrajectoryId Dataset::Add(Trajectory trajectory) {
+  GAT_CHECK(!finalized_);
+  trajectories_.push_back(std::move(trajectory));
+  return static_cast<TrajectoryId>(trajectories_.size() - 1);
+}
+
+const Trajectory& Dataset::trajectory(TrajectoryId id) const {
+  GAT_CHECK(id < trajectories_.size());
+  return trajectories_[id];
+}
+
+void Dataset::Finalize() {
+  if (finalized_) return;
+
+  for (auto& tr : trajectories_) tr.NormalizeActivities();
+
+  // Count occurrences per current activity ID. The vocabulary may contain
+  // interned names that never occur; they are ranked last.
+  size_t max_id = vocabulary_.size();
+  for (const auto& tr : trajectories_) {
+    for (const auto& p : tr.points()) {
+      for (ActivityId a : p.activities) {
+        max_id = std::max<size_t>(max_id, a + 1);
+      }
+    }
+  }
+  std::vector<uint64_t> counts(max_id, 0);
+  for (const auto& tr : trajectories_) {
+    for (const auto& p : tr.points()) {
+      for (ActivityId a : p.activities) ++counts[a];
+    }
+  }
+
+  // Rank activity IDs by descending frequency; ties broken by old ID so the
+  // permutation is deterministic.
+  std::vector<ActivityId> by_freq(max_id);
+  std::iota(by_freq.begin(), by_freq.end(), 0);
+  std::stable_sort(by_freq.begin(), by_freq.end(),
+                   [&counts](ActivityId a, ActivityId b) {
+                     return counts[a] > counts[b];
+                   });
+  std::vector<ActivityId> permutation(max_id);
+  for (ActivityId rank = 0; rank < max_id; ++rank) {
+    permutation[by_freq[rank]] = rank;
+  }
+
+  for (auto& tr : trajectories_) {
+    for (auto& p : tr.mutable_points()) {
+      for (auto& a : p.activities) a = permutation[a];
+      std::sort(p.activities.begin(), p.activities.end());
+    }
+  }
+  if (vocabulary_.size() == max_id) {
+    vocabulary_.Permute(permutation);
+  } else if (vocabulary_.size() > 0) {
+    // Vocabulary smaller than the ID space would mean loaders bypassed
+    // interning inconsistently; forbid the mixed mode.
+    GAT_CHECK(vocabulary_.size() == max_id);
+  }
+
+  activity_frequencies_.assign(max_id, 0);
+  for (ActivityId rank = 0; rank < max_id; ++rank) {
+    activity_frequencies_[rank] = counts[by_freq[rank]];
+  }
+  // Drop trailing never-occurring activities from the frequency table.
+  while (!activity_frequencies_.empty() && activity_frequencies_.back() == 0) {
+    activity_frequencies_.pop_back();
+  }
+
+  bounding_box_ = Rect::Empty();
+  for (const auto& tr : trajectories_) {
+    for (const auto& p : tr.points()) bounding_box_.Expand(p.location);
+  }
+
+  finalized_ = true;
+}
+
+Dataset Dataset::Sample(const std::vector<TrajectoryId>& ids) const {
+  GAT_CHECK(finalized_);
+  Dataset out;
+  for (TrajectoryId id : ids) {
+    GAT_CHECK(id < trajectories_.size());
+    out.Add(trajectories_[id]);  // copy
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace gat

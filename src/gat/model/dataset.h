@@ -1,0 +1,82 @@
+#ifndef GAT_MODEL_DATASET_H_
+#define GAT_MODEL_DATASET_H_
+
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/geo/rect.h"
+#include "gat/model/activity_vocabulary.h"
+#include "gat/model/trajectory.h"
+
+namespace gat {
+
+/// The activity-trajectory database `D`.
+///
+/// Owns all trajectories plus the activity vocabulary. Construction is a
+/// two-phase protocol: `Add` trajectories, then `Finalize()`. Finalization
+///   1. normalizes per-point activity sets,
+///   2. counts activity occurrences over the whole database,
+///   3. re-ranks activity IDs by descending frequency (ties by old ID) —
+///      the prerequisite for compact TAS intervals (Section IV), and
+///   4. computes the global bounding box used by the grid.
+/// Indexes and searchers require a finalized dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Datasets are heavyweight; pass by reference, move when transferring
+  // ownership.
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Adds a trajectory, returning its dense ID. Only valid before
+  /// Finalize().
+  TrajectoryId Add(Trajectory trajectory);
+
+  /// Mutable access to the vocabulary (for interning names while loading).
+  ActivityVocabulary& mutable_vocabulary() { return vocabulary_; }
+  const ActivityVocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Freezes the dataset: normalizes, frequency-ranks activity IDs,
+  /// computes the bounding box. Idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  size_t size() const { return trajectories_.size(); }
+  const Trajectory& trajectory(TrajectoryId id) const;
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Global MBR of every point in the database (valid after Finalize).
+  const Rect& bounding_box() const { return bounding_box_; }
+
+  /// Occurrence count per (frequency-ranked) activity ID; non-increasing
+  /// by construction (valid after Finalize).
+  const std::vector<uint64_t>& activity_frequencies() const {
+    return activity_frequencies_;
+  }
+
+  /// Number of distinct activities that occur at least once.
+  uint32_t num_distinct_activities() const {
+    return static_cast<uint32_t>(activity_frequencies_.size());
+  }
+
+  /// Builds a new dataset from a subset of this one's trajectories
+  /// (used by the Figure-7 scalability experiment, which samples the NY
+  /// dataset down to 10K..50K trajectories). The subset shares no state
+  /// with the source and is finalized (IDs re-ranked for the subset).
+  Dataset Sample(const std::vector<TrajectoryId>& ids) const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  ActivityVocabulary vocabulary_;
+  Rect bounding_box_ = Rect::Empty();
+  std::vector<uint64_t> activity_frequencies_;
+  bool finalized_ = false;
+};
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_DATASET_H_

@@ -1,0 +1,52 @@
+#include "gat/model/dataset_stats.h"
+
+#include <cstdio>
+
+#include "gat/common/check.h"
+#include "gat/util/string_util.h"
+
+namespace gat {
+
+DatasetStats DatasetStats::Collect(const Dataset& dataset) {
+  GAT_CHECK(dataset.finalized());
+  DatasetStats s;
+  s.num_trajectories = dataset.size();
+  for (const auto& tr : dataset.trajectories()) {
+    s.num_points += tr.size();
+    s.num_activity_assignments += tr.ActivityCount();
+  }
+  s.num_distinct_activities = dataset.num_distinct_activities();
+  if (s.num_trajectories > 0) {
+    s.avg_points_per_trajectory =
+        static_cast<double>(s.num_points) /
+        static_cast<double>(s.num_trajectories);
+    s.avg_activities_per_trajectory =
+        static_cast<double>(s.num_activity_assignments) /
+        static_cast<double>(s.num_trajectories);
+  }
+  if (s.num_points > 0) {
+    s.avg_activities_per_point =
+        static_cast<double>(s.num_activity_assignments) /
+        static_cast<double>(s.num_points);
+  }
+  if (!dataset.bounding_box().IsEmpty()) {
+    s.extent_width_km = dataset.bounding_box().Width();
+    s.extent_height_km = dataset.bounding_box().Height();
+  }
+  return s;
+}
+
+std::string DatasetStats::ToTableRow(const std::string& name) const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-8s | %12s | %12s | %12s | %12s | %8.2f | %8.2f",
+      name.c_str(), FormatWithCommas(num_trajectories).c_str(),
+      FormatWithCommas(num_points).c_str(),
+      FormatWithCommas(num_activity_assignments).c_str(),
+      FormatWithCommas(num_distinct_activities).c_str(),
+      avg_activities_per_trajectory, avg_activities_per_point);
+  return buf;
+}
+
+}  // namespace gat

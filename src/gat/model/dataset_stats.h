@@ -1,0 +1,35 @@
+#ifndef GAT_MODEL_DATASET_STATS_H_
+#define GAT_MODEL_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// The dataset statistics the paper reports in Table IV, plus a few derived
+/// quantities used by the analysis in Section VII-B (e.g. average
+/// activities per trajectory, which explains why LA queries are slower
+/// than NY despite LA having fewer trajectories).
+struct DatasetStats {
+  uint64_t num_trajectories = 0;
+  uint64_t num_points = 0;              ///< "#venue" rows: check-in points
+  uint64_t num_activity_assignments = 0;  ///< "#activity": (point, act) pairs
+  uint64_t num_distinct_activities = 0;
+  double avg_points_per_trajectory = 0.0;
+  double avg_activities_per_point = 0.0;
+  double avg_activities_per_trajectory = 0.0;
+  double extent_width_km = 0.0;
+  double extent_height_km = 0.0;
+
+  /// Collects statistics from a finalized dataset.
+  static DatasetStats Collect(const Dataset& dataset);
+
+  /// Paper-style table row rendering (used by bench_table4_dataset_stats).
+  std::string ToTableRow(const std::string& name) const;
+};
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_DATASET_STATS_H_

@@ -1,0 +1,44 @@
+#include "gat/model/query.h"
+
+#include <algorithm>
+
+namespace gat {
+
+void Query::Add(QueryPoint point) {
+  std::sort(point.activities.begin(), point.activities.end());
+  point.activities.erase(
+      std::unique(point.activities.begin(), point.activities.end()),
+      point.activities.end());
+  points_.push_back(std::move(point));
+}
+
+void Query::Normalize() {
+  for (auto& q : points_) {
+    std::sort(q.activities.begin(), q.activities.end());
+    q.activities.erase(std::unique(q.activities.begin(), q.activities.end()),
+                       q.activities.end());
+  }
+}
+
+std::vector<ActivityId> Query::ActivityUnion() const {
+  std::vector<ActivityId> all;
+  for (const auto& q : points_) {
+    all.insert(all.end(), q.activities.begin(), q.activities.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+double Query::Diameter() const {
+  double best = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    for (size_t j = i + 1; j < points_.size(); ++j) {
+      best = std::max(best,
+                      Distance(points_[i].location, points_[j].location));
+    }
+  }
+  return best;
+}
+
+}  // namespace gat

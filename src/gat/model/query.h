@@ -1,0 +1,51 @@
+#ifndef GAT_MODEL_QUERY_H_
+#define GAT_MODEL_QUERY_H_
+
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/geo/point.h"
+
+namespace gat {
+
+/// One query location q with its demanded activity set q.Phi.
+struct QueryPoint {
+  Point location;
+  std::vector<ActivityId> activities;  // sorted ascending, deduplicated
+};
+
+/// A similarity query Q = (q1, ..., qm). For OATSQ the sequence order of
+/// the points is significant (Definition 7); for ATSQ it is not.
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<QueryPoint> points) : points_(std::move(points)) {
+    Normalize();
+  }
+
+  const std::vector<QueryPoint>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const QueryPoint& operator[](size_t i) const { return points_[i]; }
+
+  /// Appends a query point and re-normalizes its activity list.
+  void Add(QueryPoint point);
+
+  /// Sorted, deduplicated union of all demanded activities, Q.Phi. A
+  /// trajectory must contain every activity in this set to be a match
+  /// (Definition 5).
+  std::vector<ActivityId> ActivityUnion() const;
+
+  /// The diameter delta(Q): maximum pairwise distance between query
+  /// locations (Section VII, "Effect of delta(Q)").
+  double Diameter() const;
+
+ private:
+  void Normalize();
+
+  std::vector<QueryPoint> points_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_QUERY_H_

@@ -1,0 +1,156 @@
+#include "gat/model/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gat {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'A', 'T', 'D'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveBinary(const Dataset& dataset, const std::string& path) {
+  if (!dataset.finalized()) return false;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(dataset.size()));
+  for (const auto& tr : dataset.trajectories()) {
+    WritePod(out, static_cast<uint32_t>(tr.size()));
+    for (const auto& p : tr.points()) {
+      WritePod(out, p.location.x);
+      WritePod(out, p.location.y);
+      WritePod(out, static_cast<uint32_t>(p.activities.size()));
+      for (ActivityId a : p.activities) WritePod(out, a);
+    }
+  }
+  return out.good();
+}
+
+bool LoadBinary(Dataset* dataset, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) return false;
+  uint64_t num_trajectories = 0;
+  if (!ReadPod(in, &num_trajectories)) return false;
+
+  for (uint64_t t = 0; t < num_trajectories; ++t) {
+    uint32_t num_points = 0;
+    if (!ReadPod(in, &num_points)) return false;
+    std::vector<TrajectoryPoint> points(num_points);
+    for (auto& p : points) {
+      uint32_t num_acts = 0;
+      if (!ReadPod(in, &p.location.x) || !ReadPod(in, &p.location.y) ||
+          !ReadPod(in, &num_acts)) {
+        return false;
+      }
+      p.activities.resize(num_acts);
+      for (auto& a : p.activities) {
+        if (!ReadPod(in, &a)) return false;
+      }
+    }
+    dataset->Add(Trajectory(std::move(points)));
+  }
+  dataset->Finalize();
+  return true;
+}
+
+bool LoadText(Dataset* dataset, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+
+  std::vector<TrajectoryPoint> points;
+  bool have_open_trajectory = false;
+  auto flush = [&]() {
+    if (have_open_trajectory) {
+      dataset->Add(Trajectory(std::move(points)));
+      points.clear();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "traj") {
+      flush();
+      have_open_trajectory = true;
+    } else if (tag == "p") {
+      if (!have_open_trajectory) return false;
+      TrajectoryPoint p;
+      std::string acts;
+      if (!(ls >> p.location.x >> p.location.y)) return false;
+      if (ls >> acts) {
+        std::istringstream as(acts);
+        std::string token;
+        while (std::getline(as, token, ',')) {
+          if (token.empty()) continue;
+          p.activities.push_back(
+              dataset->mutable_vocabulary().InternActivity(token));
+        }
+      }
+      points.push_back(std::move(p));
+    } else {
+      return false;
+    }
+  }
+  flush();
+  dataset->Finalize();
+  return true;
+}
+
+bool SaveText(const Dataset& dataset, const std::string& path) {
+  if (!dataset.finalized()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# gatlib text dataset: " << dataset.size() << " trajectories\n";
+  const auto& vocab = dataset.vocabulary();
+  for (const auto& tr : dataset.trajectories()) {
+    out << "traj u\n";
+    for (const auto& p : tr.points()) {
+      out << "p " << p.location.x << ' ' << p.location.y;
+      if (!p.activities.empty()) {
+        out << ' ';
+        for (size_t i = 0; i < p.activities.size(); ++i) {
+          if (i != 0) out << ',';
+          if (p.activities[i] < vocab.size()) {
+            out << vocab.Name(p.activities[i]);
+          } else {
+            out << 'a' << p.activities[i];
+          }
+        }
+      }
+      out << '\n';
+    }
+  }
+  return out.good();
+}
+
+}  // namespace gat

@@ -1,0 +1,39 @@
+#ifndef GAT_MODEL_SERIALIZATION_H_
+#define GAT_MODEL_SERIALIZATION_H_
+
+#include <string>
+
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// Dataset persistence.
+///
+/// Two formats:
+///  * A compact binary format ("GATD" magic, version 1) used to cache
+///    generated benchmark datasets between runs.
+///  * A line-oriented text format for interoperability with real check-in
+///    dumps:
+///        traj <user_id>
+///        p <x_km> <y_km> <activity>[,<activity>...]
+///    where <activity> is a free-form token interned into the vocabulary.
+///    Lines starting with '#' are comments.
+///
+/// All functions return false on I/O or format errors (no exceptions).
+
+/// Writes a finalized dataset to `path` in binary format.
+bool SaveBinary(const Dataset& dataset, const std::string& path);
+
+/// Loads a binary dataset; the result is finalized. Returns false on error.
+bool LoadBinary(Dataset* dataset, const std::string& path);
+
+/// Loads the text format described above and finalizes the dataset.
+bool LoadText(Dataset* dataset, const std::string& path);
+
+/// Writes the text format (activity names taken from the vocabulary when
+/// present, otherwise "a<id>").
+bool SaveText(const Dataset& dataset, const std::string& path);
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_SERIALIZATION_H_

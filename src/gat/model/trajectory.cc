@@ -1,0 +1,52 @@
+#include "gat/model/trajectory.h"
+
+namespace gat {
+
+bool TrajectoryPoint::HasAnyActivity(
+    const std::vector<ActivityId>& query_activities) const {
+  // Merge-style intersection test over two sorted lists.
+  auto a = activities.begin();
+  auto b = query_activities.begin();
+  while (a != activities.end() && b != query_activities.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+Rect Trajectory::BoundingBox() const {
+  Rect box = Rect::Empty();
+  for (const auto& p : points_) box.Expand(p.location);
+  return box;
+}
+
+std::vector<ActivityId> Trajectory::ActivityUnion() const {
+  std::vector<ActivityId> all;
+  for (const auto& p : points_) {
+    all.insert(all.end(), p.activities.begin(), p.activities.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+size_t Trajectory::ActivityCount() const {
+  size_t count = 0;
+  for (const auto& p : points_) count += p.activities.size();
+  return count;
+}
+
+void Trajectory::NormalizeActivities() {
+  for (auto& p : points_) {
+    std::sort(p.activities.begin(), p.activities.end());
+    p.activities.erase(std::unique(p.activities.begin(), p.activities.end()),
+                       p.activities.end());
+  }
+}
+
+}  // namespace gat

@@ -1,0 +1,64 @@
+#ifndef GAT_MODEL_TRAJECTORY_H_
+#define GAT_MODEL_TRAJECTORY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/geo/point.h"
+#include "gat/geo/rect.h"
+
+namespace gat {
+
+/// One check-in: a geo-location tagged with a (possibly empty) sorted set
+/// of activity IDs (Definition 2).
+struct TrajectoryPoint {
+  Point location;
+  std::vector<ActivityId> activities;  // sorted ascending, deduplicated
+
+  /// True if the point carries `activity`.
+  bool HasActivity(ActivityId activity) const {
+    return std::binary_search(activities.begin(), activities.end(), activity);
+  }
+
+  /// True if the point carries at least one of `query_activities`
+  /// (both lists sorted).
+  bool HasAnyActivity(const std::vector<ActivityId>& query_activities) const;
+};
+
+/// An activity trajectory Tr = (p1, ..., pn): the chronologically ordered
+/// check-in history of one user (Definition 2).
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<TrajectoryPoint> points)
+      : points_(std::move(points)) {}
+
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+  std::vector<TrajectoryPoint>& mutable_points() { return points_; }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajectoryPoint& operator[](size_t i) const { return points_[i]; }
+
+  /// Minimum bounding rectangle of all points.
+  Rect BoundingBox() const;
+
+  /// Sorted, deduplicated union of all activities attached to any point.
+  std::vector<ActivityId> ActivityUnion() const;
+
+  /// Total number of (point, activity) assignments.
+  size_t ActivityCount() const;
+
+  /// Normalizes every point's activity list to sorted/dedup form. Called by
+  /// dataset finalization; loaders may append in arbitrary order.
+  void NormalizeActivities();
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_MODEL_TRAJECTORY_H_

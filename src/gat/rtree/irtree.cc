@@ -1,0 +1,233 @@
+#include "gat/rtree/irtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+namespace {
+
+/// 64-bit hash summary of an activity set (one bit per activity hash).
+uint64_t SummaryBit(ActivityId a) {
+  uint64_t x = a;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return uint64_t{1} << (x & 63);
+}
+
+uint64_t SummaryOf(const std::vector<ActivityId>& activities) {
+  uint64_t s = 0;
+  for (ActivityId a : activities) s |= SummaryBit(a);
+  return s;
+}
+
+/// Sorted-union in place.
+void MergeInto(std::vector<ActivityId>* dst,
+               const std::vector<ActivityId>& src) {
+  std::vector<ActivityId> merged;
+  merged.reserve(dst->size() + src.size());
+  std::set_union(dst->begin(), dst->end(), src.begin(), src.end(),
+                 std::back_inserter(merged));
+  *dst = std::move(merged);
+}
+
+bool SharesAny(const std::vector<ActivityId>& sorted_a,
+               const std::vector<ActivityId>& sorted_b) {
+  auto a = sorted_a.begin();
+  auto b = sorted_b.begin();
+  while (a != sorted_a.end() && b != sorted_b.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+struct IrTree::Node {
+  Rect mbr = Rect::Empty();
+  int level = 0;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<IrTreeEntry> entries;
+  /// The node's inverted file: union of activities below, plus summary.
+  std::vector<ActivityId> activities;
+  uint64_t summary = 0;
+
+  bool leaf() const { return level == 0; }
+
+  void Finish() {
+    mbr = Rect::Empty();
+    activities.clear();
+    if (leaf()) {
+      for (const auto& e : entries) {
+        mbr.Expand(e.point);
+        MergeInto(&activities, e.activities);
+      }
+    } else {
+      for (const auto& c : children) {
+        mbr.Expand(c->mbr);
+        MergeInto(&activities, c->activities);
+      }
+    }
+    summary = SummaryOf(activities);
+  }
+};
+
+IrTree::IrTree() = default;
+IrTree::~IrTree() = default;
+IrTree::IrTree(IrTree&&) noexcept = default;
+IrTree& IrTree::operator=(IrTree&&) noexcept = default;
+
+IrTree IrTree::BulkLoad(std::vector<IrTreeEntry> entries, int max_entries) {
+  GAT_CHECK(max_entries >= 4);
+  IrTree tree;
+  tree.max_entries_ = max_entries;
+  tree.size_ = entries.size();
+  if (entries.empty()) {
+    tree.root_ = std::make_unique<Node>();
+    return tree;
+  }
+  const size_t cap = static_cast<size_t>(max_entries);
+
+  std::sort(entries.begin(), entries.end(),
+            [](const IrTreeEntry& a, const IrTreeEntry& b) {
+              return a.point.x < b.point.x;
+            });
+  const size_t pages = (entries.size() + cap - 1) / cap;
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(pages))));
+  const size_t slab_size = slabs * cap;
+
+  std::vector<std::unique_ptr<Node>> level_nodes;
+  for (size_t s = 0; s * slab_size < entries.size(); ++s) {
+    const size_t begin = s * slab_size;
+    const size_t end = std::min(begin + slab_size, entries.size());
+    std::sort(entries.begin() + begin, entries.begin() + end,
+              [](const IrTreeEntry& a, const IrTreeEntry& b) {
+                return a.point.y < b.point.y;
+              });
+    for (size_t i = begin; i < end; i += cap) {
+      auto leaf = std::make_unique<Node>();
+      leaf->level = 0;
+      const size_t page_end = std::min(i + cap, end);
+      leaf->entries.assign(std::make_move_iterator(entries.begin() + i),
+                           std::make_move_iterator(entries.begin() + page_end));
+      leaf->Finish();
+      level_nodes.push_back(std::move(leaf));
+    }
+  }
+
+  int level = 1;
+  while (level_nodes.size() > 1) {
+    std::sort(level_nodes.begin(), level_nodes.end(),
+              [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+                return a->mbr.Center().x < b->mbr.Center().x;
+              });
+    const size_t p2 = (level_nodes.size() + cap - 1) / cap;
+    const size_t s2 = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(p2))));
+    const size_t slab2 = s2 * cap;
+    for (size_t s = 0; s * slab2 < level_nodes.size(); ++s) {
+      const size_t begin = s * slab2;
+      const size_t end = std::min(begin + slab2, level_nodes.size());
+      std::sort(level_nodes.begin() + begin, level_nodes.begin() + end,
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->mbr.Center().y < b->mbr.Center().y;
+                });
+    }
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level_nodes.size(); i += cap) {
+      auto parent = std::make_unique<Node>();
+      parent->level = level;
+      const size_t end = std::min(i + cap, level_nodes.size());
+      for (size_t j = i; j < end; ++j) {
+        parent->children.push_back(std::move(level_nodes[j]));
+      }
+      parent->Finish();
+      parents.push_back(std::move(parent));
+    }
+    level_nodes = std::move(parents);
+    ++level;
+  }
+  tree.root_ = std::move(level_nodes.front());
+  return tree;
+}
+
+size_t IrTree::InvertedFileBytes() const {
+  size_t bytes = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += n->activities.size() * sizeof(ActivityId) + sizeof(uint64_t);
+    if (!n->leaf()) {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  return bytes;
+}
+
+IrTree::NearestIterator::NearestIterator(
+    const IrTree& tree, const Point& origin,
+    std::vector<ActivityId> filter_activities)
+    : tree_(tree), origin_(origin), filter_(std::move(filter_activities)) {
+  std::sort(filter_.begin(), filter_.end());
+  filter_.erase(std::unique(filter_.begin(), filter_.end()), filter_.end());
+  filter_summary_ = SummaryOf(filter_);
+  if (tree.size_ > 0) {
+    heap_.push(HeapItem{MinDist(origin_, tree.root_->mbr), tree.root_.get(),
+                        nullptr});
+  }
+}
+
+bool IrTree::NearestIterator::Next(const IrTreeEntry** entry,
+                                   double* distance) {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    if (item.node == nullptr) {
+      *entry = item.entry;
+      *distance = item.distance;
+      return true;
+    }
+    ++nodes_popped_;
+    const Node* n = item.node;
+    if (n->leaf()) {
+      for (const auto& e : n->entries) {
+        if (!filter_.empty() && !SharesAny(e.activities, filter_)) {
+          continue;  // entry carries none of the demanded activities
+        }
+        heap_.push(HeapItem{Distance(origin_, e.point), nullptr, &e});
+      }
+    } else {
+      for (const auto& c : n->children) {
+        // Check the child's inverted file before probing it (Section
+        // III-C): summary first (cheap), exact list on summary hit.
+        if (!filter_.empty()) {
+          if ((c->summary & filter_summary_) == 0 ||
+              !SharesAny(c->activities, filter_)) {
+            ++nodes_pruned_;
+            continue;
+          }
+        }
+        heap_.push(HeapItem{MinDist(origin_, c->mbr), c.get(), nullptr});
+      }
+    }
+  }
+  return false;
+}
+
+double IrTree::NearestIterator::PendingLowerBound() const {
+  return heap_.empty() ? kInfDist : heap_.top().distance;
+}
+
+}  // namespace gat

@@ -1,0 +1,392 @@
+#include "gat/rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+/// R-tree node: a leaf holds entries, an internal node holds children.
+/// `level` is 0 at leaves and grows upward.
+struct RTree::Node {
+  Rect mbr = Rect::Empty();
+  int level = 0;
+  std::vector<std::unique_ptr<Node>> children;
+  std::vector<RTreeEntry> entries;
+
+  bool leaf() const { return level == 0; }
+
+  void RecomputeMbr() {
+    mbr = Rect::Empty();
+    if (leaf()) {
+      for (const auto& e : entries) mbr.Expand(e.point);
+    } else {
+      for (const auto& c : children) mbr.Expand(c->mbr);
+    }
+  }
+};
+
+namespace {
+
+/// Guttman's quadratic split over a set of rectangles: picks the pair of
+/// seeds wasting the most area, then assigns the rest by least enlargement
+/// while respecting the minimum fill. Returns a 0/1 group flag per rect.
+std::vector<char> QuadraticPartition(const std::vector<Rect>& rects,
+                                     size_t min_fill) {
+  const size_t n = rects.size();
+  GAT_CHECK(n >= 2);
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double waste =
+          UnionArea(rects[i], rects[j]) - rects[i].Area() - rects[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<char> group(n, -1);
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  Rect mbr[2] = {rects[seed_a], rects[seed_b]};
+  size_t count[2] = {1, 1};
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must absorb everything left to reach the
+    // minimum fill.
+    int forced = -1;
+    if (count[0] + remaining == min_fill) forced = 0;
+    if (count[1] + remaining == min_fill) forced = 1;
+    if (forced >= 0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (group[i] < 0) {
+          group[i] = static_cast<char>(forced);
+          mbr[forced].Expand(rects[i]);
+          ++count[forced];
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // PickNext: the rect with maximum preference difference.
+    size_t best = n;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      const double d0 = UnionArea(mbr[0], rects[i]) - mbr[0].Area();
+      const double d1 = UnionArea(mbr[1], rects[i]) - mbr[1].Area();
+      const double diff = std::abs(d0 - d1);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    GAT_CHECK(best < n);
+    const double d0 = UnionArea(mbr[0], rects[best]) - mbr[0].Area();
+    const double d1 = UnionArea(mbr[1], rects[best]) - mbr[1].Area();
+    int target;
+    if (d0 != d1) {
+      target = d0 < d1 ? 0 : 1;
+    } else if (mbr[0].Area() != mbr[1].Area()) {
+      target = mbr[0].Area() < mbr[1].Area() ? 0 : 1;
+    } else {
+      target = count[0] <= count[1] ? 0 : 1;
+    }
+    group[best] = static_cast<char>(target);
+    mbr[target].Expand(rects[best]);
+    ++count[target];
+    --remaining;
+  }
+  return group;
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries) : max_entries_(max_entries) {
+  GAT_CHECK(max_entries >= 4);
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+Rect RTree::bounds() const { return root_->mbr; }
+
+int RTree::Height() const {
+  if (size_ == 0) return 0;
+  return root_->level + 1;
+}
+
+void RTree::Insert(const RTreeEntry& entry) {
+  std::unique_ptr<Node> split;
+  InsertRecursive(root_.get(), entry, root_->level, &split);
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->level = root_->level + 1;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split));
+    new_root->RecomputeMbr();
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+void RTree::InsertRecursive(Node* node, const RTreeEntry& entry,
+                            int target_level, std::unique_ptr<Node>* split_out) {
+  (void)target_level;
+  node->mbr.Expand(entry.point);
+  if (node->leaf()) {
+    node->entries.push_back(entry);
+    if (node->entries.size() > static_cast<size_t>(max_entries_)) {
+      // Quadratic split of an overflowing leaf.
+      std::vector<Rect> rects;
+      rects.reserve(node->entries.size());
+      for (const auto& e : node->entries) rects.push_back(Rect::FromPoint(e.point));
+      const auto group =
+          QuadraticPartition(rects, static_cast<size_t>(max_entries_) / 2);
+      auto sibling = std::make_unique<Node>();
+      sibling->level = 0;
+      std::vector<RTreeEntry> keep;
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (group[i] == 0) {
+          keep.push_back(node->entries[i]);
+        } else {
+          sibling->entries.push_back(node->entries[i]);
+        }
+      }
+      node->entries = std::move(keep);
+      node->RecomputeMbr();
+      sibling->RecomputeMbr();
+      *split_out = std::move(sibling);
+    }
+    return;
+  }
+
+  // ChooseSubtree: least area enlargement, ties by smallest area.
+  Node* best = nullptr;
+  double best_enlargement = kInfDist;
+  double best_area = kInfDist;
+  for (const auto& child : node->children) {
+    const double enlargement =
+        UnionArea(child->mbr, Rect::FromPoint(entry.point)) -
+        child->mbr.Area();
+    const double area = child->mbr.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best_enlargement = enlargement;
+      best_area = area;
+      best = child.get();
+    }
+  }
+  GAT_CHECK(best != nullptr);
+
+  std::unique_ptr<Node> child_split;
+  InsertRecursive(best, entry, target_level, &child_split);
+  if (child_split != nullptr) {
+    node->children.push_back(std::move(child_split));
+    if (node->children.size() > static_cast<size_t>(max_entries_)) {
+      std::vector<Rect> rects;
+      rects.reserve(node->children.size());
+      for (const auto& c : node->children) rects.push_back(c->mbr);
+      const auto group =
+          QuadraticPartition(rects, static_cast<size_t>(max_entries_) / 2);
+      auto sibling = std::make_unique<Node>();
+      sibling->level = node->level;
+      std::vector<std::unique_ptr<Node>> keep;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (group[i] == 0) {
+          keep.push_back(std::move(node->children[i]));
+        } else {
+          sibling->children.push_back(std::move(node->children[i]));
+        }
+      }
+      node->children = std::move(keep);
+      node->RecomputeMbr();
+      sibling->RecomputeMbr();
+      *split_out = std::move(sibling);
+    }
+  }
+}
+
+RTree RTree::BulkLoad(std::vector<RTreeEntry> entries, int max_entries) {
+  RTree tree(max_entries);
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  const size_t cap = static_cast<size_t>(max_entries);
+
+  // Sort-Tile-Recursive leaf packing.
+  std::sort(entries.begin(), entries.end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.point.x < b.point.x;
+            });
+  const size_t num_pages = (entries.size() + cap - 1) / cap;
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_pages))));
+  const size_t slab_size = slabs * cap;
+
+  std::vector<std::unique_ptr<Node>> level_nodes;
+  for (size_t s = 0; s * slab_size < entries.size(); ++s) {
+    const size_t begin = s * slab_size;
+    const size_t end = std::min(begin + slab_size, entries.size());
+    std::sort(entries.begin() + begin, entries.begin() + end,
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.point.y < b.point.y;
+              });
+    for (size_t i = begin; i < end; i += cap) {
+      auto leaf = std::make_unique<Node>();
+      leaf->level = 0;
+      const size_t page_end = std::min(i + cap, end);
+      leaf->entries.assign(entries.begin() + i, entries.begin() + page_end);
+      leaf->RecomputeMbr();
+      level_nodes.push_back(std::move(leaf));
+    }
+  }
+
+  // Pack upward until a single root remains.
+  int level = 1;
+  while (level_nodes.size() > 1) {
+    std::sort(level_nodes.begin(), level_nodes.end(),
+              [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+                return a->mbr.Center().x < b->mbr.Center().x;
+              });
+    const size_t pages = (level_nodes.size() + cap - 1) / cap;
+    const size_t s2 = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(pages))));
+    const size_t slab2 = s2 * cap;
+    for (size_t s = 0; s * slab2 < level_nodes.size(); ++s) {
+      const size_t begin = s * slab2;
+      const size_t end = std::min(begin + slab2, level_nodes.size());
+      std::sort(level_nodes.begin() + begin, level_nodes.begin() + end,
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->mbr.Center().y < b->mbr.Center().y;
+                });
+    }
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level_nodes.size(); i += cap) {
+      auto parent = std::make_unique<Node>();
+      parent->level = level;
+      const size_t end = std::min(i + cap, level_nodes.size());
+      for (size_t j = i; j < end; ++j) {
+        parent->children.push_back(std::move(level_nodes[j]));
+      }
+      parent->RecomputeMbr();
+      parents.push_back(std::move(parent));
+    }
+    level_nodes = std::move(parents);
+    ++level;
+  }
+  tree.root_ = std::move(level_nodes.front());
+  return tree;
+}
+
+namespace {
+
+bool CheckNode(const RTree::Node* node, int expected_leaf_depth, int depth,
+               int max_entries);
+
+}  // namespace
+
+bool RTree::CheckInvariants() const {
+  if (size_ == 0) return true;
+  // Depth of the leftmost leaf is the reference depth.
+  const Node* n = root_.get();
+  int leaf_depth = 0;
+  while (!n->leaf()) {
+    if (n->children.empty()) return false;
+    n = n->children.front().get();
+    ++leaf_depth;
+  }
+  return CheckNode(root_.get(), leaf_depth, 0, max_entries_);
+}
+
+namespace {
+
+bool CheckNode(const RTree::Node* node, int expected_leaf_depth, int depth,
+               int max_entries) {
+  if (node->leaf()) {
+    if (depth != expected_leaf_depth) return false;
+    if (node->entries.size() > static_cast<size_t>(max_entries)) return false;
+    for (const auto& e : node->entries) {
+      if (!node->mbr.Contains(e.point)) return false;
+    }
+    return true;
+  }
+  if (node->children.empty() ||
+      node->children.size() > static_cast<size_t>(max_entries)) {
+    return false;
+  }
+  Rect combined = Rect::Empty();
+  for (const auto& c : node->children) {
+    combined.Expand(c->mbr);
+    if (c->level != node->level - 1) return false;
+    if (!CheckNode(c.get(), expected_leaf_depth, depth + 1, max_entries)) {
+      return false;
+    }
+  }
+  return combined == node->mbr;
+}
+
+}  // namespace
+
+std::vector<RTreeEntry> RTree::CollectAll() const {
+  std::vector<RTreeEntry> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->leaf()) {
+      out.insert(out.end(), n->entries.begin(), n->entries.end());
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+RTree::NearestIterator::NearestIterator(const RTree& tree, const Point& origin)
+    : tree_(tree), origin_(origin) {
+  if (tree.size_ > 0) {
+    heap_.push(HeapItem{MinDist(origin_, tree.root_->mbr), tree.root_.get(),
+                        nullptr});
+  }
+}
+
+bool RTree::NearestIterator::Next(RTreeEntry* entry, double* distance) {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    if (item.node == nullptr) {
+      *entry = *item.entry;
+      *distance = item.distance;
+      return true;
+    }
+    ++nodes_popped_;
+    const Node* n = item.node;
+    if (n->leaf()) {
+      for (const auto& e : n->entries) {
+        heap_.push(HeapItem{Distance(origin_, e.point), nullptr, &e});
+      }
+    } else {
+      for (const auto& c : n->children) {
+        heap_.push(HeapItem{MinDist(origin_, c->mbr), c.get(), nullptr});
+      }
+    }
+  }
+  return false;
+}
+
+double RTree::NearestIterator::PendingLowerBound() const {
+  return heap_.empty() ? kInfDist : heap_.top().distance;
+}
+
+}  // namespace gat

@@ -1,0 +1,115 @@
+#ifndef GAT_RTREE_RTREE_H_
+#define GAT_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/geo/point.h"
+#include "gat/geo/rect.h"
+
+namespace gat {
+
+/// One indexed trajectory point.
+struct RTreeEntry {
+  Point point;
+  TrajectoryId trajectory = kInvalidId;
+  PointIndex point_index = 0;
+};
+
+/// A 2-D R-tree over trajectory points — the substrate of the RT baseline
+/// (Section III-B), which "treats the points of all trajectories as a point
+/// set and indexes these points using an R-tree" (Guttman's structure).
+///
+/// Two construction paths:
+///  * `Insert` — Guttman's dynamic insertion with the quadratic split
+///    heuristic (exercised by unit tests; supports incremental loads).
+///  * `BulkLoad` — Sort-Tile-Recursive packing, used by the benchmark
+///    harness for deterministic, well-filled trees.
+///
+/// Nearest-neighbour access is incremental "distance browsing"
+/// (Hjaltason & Samet): a NearestIterator yields entries in non-decreasing
+/// distance from an origin, which is exactly what the k-BCT-style search of
+/// Chen et al. needs.
+class RTree {
+ public:
+  explicit RTree(int max_entries = 32);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Dynamic insert (quadratic split on overflow).
+  void Insert(const RTreeEntry& entry);
+
+  /// Builds a packed tree bottom-up with Sort-Tile-Recursive.
+  static RTree BulkLoad(std::vector<RTreeEntry> entries, int max_entries = 32);
+
+  size_t size() const { return size_; }
+  int max_entries() const { return max_entries_; }
+
+  /// MBR of all entries (empty rect when the tree is empty).
+  Rect bounds() const;
+
+  /// Height of the tree (0 for empty, 1 for a single leaf).
+  int Height() const;
+
+  /// Structural invariants: MBR containment, fan-out limits, uniform leaf
+  /// depth. Used by tests; returns false on violation.
+  bool CheckInvariants() const;
+
+  /// Collects all entries (test support).
+  std::vector<RTreeEntry> CollectAll() const;
+
+  struct Node;  // exposed for the IR-tree, which decorates nodes
+
+  /// Incremental best-first nearest-neighbour iterator.
+  class NearestIterator {
+   public:
+    NearestIterator(const RTree& tree, const Point& origin);
+
+    /// Advances to the next nearest entry; returns false when drained.
+    bool Next(RTreeEntry* entry, double* distance);
+
+    /// Lower bound on the distance of everything not yet returned: the
+    /// head key of the traversal heap (+inf when drained). This is the
+    /// per-query-point search radius of the RT baseline's Lemma-2 bound.
+    double PendingLowerBound() const;
+
+    uint64_t nodes_popped() const { return nodes_popped_; }
+
+   private:
+    struct HeapItem {
+      double distance;
+      const Node* node;    // nullptr when this is a leaf entry
+      const RTreeEntry* entry;
+      bool operator>(const HeapItem& other) const {
+        return distance > other.distance;
+      }
+    };
+
+    const RTree& tree_;
+    Point origin_;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>
+        heap_;
+    uint64_t nodes_popped_ = 0;
+  };
+
+ private:
+  friend class NearestIterator;
+
+  void InsertRecursive(Node* node, const RTreeEntry& entry, int target_level,
+                       std::unique_ptr<Node>* split_out);
+
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_RTREE_RTREE_H_

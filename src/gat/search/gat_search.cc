@@ -1,0 +1,390 @@
+#include "gat/search/gat_search.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gat/common/check.h"
+#include "gat/core/match.h"
+#include "gat/core/order_match.h"
+#include "gat/core/point_match.h"
+#include "gat/util/stopwatch.h"
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+namespace {
+
+/// Entry of the candidate-retrieval priority queue: (mdist, cellID, q)
+/// of Section V-A. Min-heap on mdist; ties broken by level/code/query for
+/// determinism.
+struct PqEntry {
+  double mdist;
+  int level;
+  uint32_t code;
+  uint32_t query_idx;
+};
+
+struct PqGreater {
+  bool operator()(const PqEntry& a, const PqEntry& b) const {
+    if (a.mdist != b.mdist) return a.mdist > b.mdist;
+    if (a.level != b.level) return a.level > b.level;
+    if (a.code != b.code) return a.code > b.code;
+    return a.query_idx > b.query_idx;
+  }
+};
+
+/// Member of cellsn(q): an unvisited cell ordered by mdist (Section V-B).
+struct CellRef {
+  double mdist;
+  int level;
+  uint32_t code;
+
+  bool operator<(const CellRef& other) const {
+    if (mdist != other.mdist) return mdist < other.mdist;
+    if (level != other.level) return level < other.level;
+    return code < other.code;
+  }
+};
+
+}  // namespace
+
+/// Per-query mutable search state (the searcher itself is const / reusable
+/// across queries and threads).
+struct GatSearcher::State {
+  const Query& query;
+  size_t k;
+  QueryKind kind;
+  SearchStats& stats;
+
+  std::vector<ActivityId> query_union;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, PqGreater> pq;
+  std::vector<std::set<CellRef>> cells_n;  // cellsn(q_i), all unvisited cells
+  std::vector<char> seen;
+  std::vector<TrajectoryId> batch;
+  TopKCollector collector;
+  DiskAccessCounter disk;
+  /// Disk-tier HICL inverted cell lists already fetched this query, keyed
+  /// by (activity << 4) | level. A list is charged as one disk read on
+  /// first use and is then memory-resident for the rest of the query.
+  std::unordered_set<uint64_t> fetched_hicl_lists;
+  bool exhausted = false;
+
+  void ChargeHiclList(ActivityId a, int level, int memory_levels) {
+    if (level <= memory_levels) return;
+    const uint64_t key = (static_cast<uint64_t>(a) << 4) |
+                         static_cast<uint64_t>(level);
+    if (fetched_hicl_lists.insert(key).second) disk.RecordRead();
+  }
+
+  State(const Query& q, size_t k_in, QueryKind kind_in, SearchStats& s,
+        size_t dataset_size)
+      : query(q),
+        k(k_in),
+        kind(kind_in),
+        stats(s),
+        query_union(q.ActivityUnion()),
+        cells_n(q.size()),
+        seen(dataset_size, 0),
+        collector(k_in) {}
+};
+
+GatSearcher::GatSearcher(const Dataset& dataset, const GatIndex& index,
+                         const GatSearchParams& params)
+    : dataset_(dataset), index_(index), params_(params) {
+  GAT_CHECK(dataset.finalized());
+  GAT_CHECK(params.lambda > 0);
+  GAT_CHECK(params.nearest_cells > 0);
+}
+
+ResultList GatSearcher::Atsq(const Query& query, size_t k,
+                             SearchStats* stats) const {
+  return Search(query, k, QueryKind::kAtsq, stats);
+}
+
+ResultList GatSearcher::Oatsq(const Query& query, size_t k,
+                              SearchStats* stats) const {
+  return Search(query, k, QueryKind::kOatsq, stats);
+}
+
+ResultList GatSearcher::Search(const Query& query, size_t k, QueryKind kind,
+                               SearchStats* stats) const {
+  SearchStats local_stats;
+  SearchStats& st = stats != nullptr ? *stats : local_stats;
+  st.Reset();
+  Stopwatch timer;
+
+  if (query.empty() || k == 0) return {};
+
+  State state(query, k, kind, st, dataset_.size());
+
+  if (state.query_union.empty()) {
+    // Degenerate query: every q.Phi is empty, so every trajectory matches
+    // with distance 0 (Dmm = Dmom = 0). Return the k smallest IDs.
+    ResultList out;
+    for (TrajectoryId t = 0; t < dataset_.size() && out.size() < k; ++t) {
+      out.push_back(SearchResult{t, 0.0});
+    }
+    st.elapsed_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  // Seed the queue with the cells of the highest HICL level that contain
+  // any activity demanded at each query point (Section V-A).
+  const int top_level = 1;
+  for (uint32_t qi = 0; qi < query.size(); ++qi) {
+    const auto& acts = query[qi].activities;
+    if (acts.empty()) continue;
+    for (uint32_t code :
+         index_.hicl().CellsWithAny(acts, top_level, nullptr)) {
+      const double mdist =
+          index_.grid().MinDistToCell(query[qi].location, top_level, code);
+      state.pq.push(PqEntry{mdist, top_level, code, qi});
+      state.cells_n[qi].insert(CellRef{mdist, top_level, code});
+      ++st.heap_pushes;
+    }
+  }
+
+  // Algorithm 1 main loop.
+  const bool trace = std::getenv("GAT_TRACE") != nullptr;
+  while (true) {
+    ++st.rounds;
+    RetrieveCandidates(state);
+    const double dlb = ComputeLowerBound(state);
+    for (TrajectoryId t : state.batch) ProcessCandidate(state, t);
+    state.batch.clear();
+    if (trace) {
+      std::fprintf(stderr,
+                   "round=%llu dlb=%.3f thresh=%.3f results=%zu cand=%llu\n",
+                   static_cast<unsigned long long>(st.rounds), dlb,
+                   state.collector.Threshold(), state.collector.size(),
+                   static_cast<unsigned long long>(st.candidates_retrieved));
+    }
+    // Termination: all unseen trajectories are provably worse than the
+    // current k-th result (line 9-10), or nothing is left to retrieve.
+    if (state.collector.Threshold() < dlb) break;
+    if (state.exhausted) break;
+  }
+
+  st.disk_reads = state.disk.reads;
+  st.elapsed_ms = timer.ElapsedMillis();
+  return ToResultList(state.collector);
+}
+
+void GatSearcher::RetrieveCandidates(State& state) const {
+  const int depth = index_.grid().depth();
+  std::vector<uint32_t> children;
+  while (state.batch.size() < params_.lambda && !state.pq.empty()) {
+    const PqEntry e = state.pq.top();
+    state.pq.pop();
+    ++state.stats.nodes_popped;
+    state.cells_n[e.query_idx].erase(CellRef{e.mdist, e.level, e.code});
+    const auto& acts = state.query[e.query_idx].activities;
+
+    if (e.level < depth) {
+      // Expand: children that contain at least one demanded activity; all
+      // other children are pruned automatically (Section V-A). Descending
+      // into a disk-tier level fetches each demanded activity's inverted
+      // cell list once per query.
+      for (ActivityId a : acts) {
+        state.ChargeHiclList(a, e.level + 1, index_.config().memory_levels);
+      }
+      children.clear();
+      index_.hicl().ChildrenWithAny(acts, e.level, e.code, &children,
+                                    nullptr);
+      for (uint32_t child : children) {
+        const double mdist = index_.grid().MinDistToCell(
+            state.query[e.query_idx].location, e.level + 1, child);
+        state.pq.push(PqEntry{mdist, e.level + 1, child, e.query_idx});
+        state.cells_n[e.query_idx].insert(
+            CellRef{mdist, e.level + 1, child});
+        ++state.stats.heap_pushes;
+      }
+    } else {
+      // Leaf: pull the inverted trajectory lists for each demanded
+      // activity into the candidate set.
+      for (ActivityId a : acts) {
+        for (TrajectoryId t : index_.itl().Trajectories(e.code, a)) {
+          if (!state.seen[t]) {
+            state.seen[t] = 1;
+            state.batch.push_back(t);
+          }
+        }
+      }
+    }
+  }
+  if (state.pq.empty()) state.exhausted = true;
+}
+
+double GatSearcher::ComputeLowerBound(State& state) const {
+  if (state.exhausted) return kInfDist;  // nothing unseen remains
+
+  if (!params_.use_tight_lower_bound) {
+    // Naive bound the paper rejects: the PQ head mdist, once per query
+    // point (sum over q_i of the smallest unvisited-cell distance).
+    double total = 0.0;
+    for (uint32_t qi = 0; qi < state.query.size(); ++qi) {
+      if (state.query[qi].activities.empty()) continue;
+      const auto& cells = state.cells_n[qi];
+      if (cells.empty()) return kInfDist;
+      total += cells.begin()->mdist;
+    }
+    return total;
+  }
+
+  // Algorithm 2: per query point, make one virtual point per nearest
+  // unvisited cell carrying the cell's demanded-activity subset at distance
+  // mdist, then take min(Dmpm over the virtual trajectory, d(q, c_m)).
+  double total = 0.0;
+  std::vector<MatchPoint> virtual_points;
+  for (uint32_t qi = 0; qi < state.query.size(); ++qi) {
+    const auto& acts = state.query[qi].activities;
+    if (acts.empty()) continue;  // contributes 0 to every Dmm
+    const auto& cells = state.cells_n[qi];
+    if (cells.empty()) {
+      // Every cell containing q_i's activities was visited: all unseen
+      // trajectories fail to match q_i entirely.
+      return kInfDist;
+    }
+    const int bits =
+        static_cast<int>(std::min<size_t>(acts.size(), kMaxQueryActivities));
+    virtual_points.clear();
+    double last_mdist = 0.0;
+    uint32_t count = 0;
+    for (const CellRef& ref : cells) {
+      if (count == params_.nearest_cells) break;
+      ActivityMask mask = 0;
+      for (int b = 0; b < bits; ++b) {
+        // The paper reads cell activities "directly from ITL" (memory
+        // resident); no simulated disk access is charged here.
+        if (index_.hicl().Contains(acts[b], ref.level, ref.code, nullptr)) {
+          mask |= ActivityMask{1} << b;
+        }
+      }
+      GAT_DCHECK(mask != 0);  // only activity-bearing cells are enqueued
+      virtual_points.push_back(MatchPoint{ref.mdist, mask, count});
+      last_mdist = ref.mdist;
+      ++count;
+    }
+    const double dmpm =
+        MinPointMatchDistance(virtual_points, bits).distance;
+    const bool truncated = cells.size() > params_.nearest_cells;
+    // When the list was truncated, unseen matches may also use cells
+    // beyond the m-th, all at distance >= last_mdist (the paper's
+    // min(Dmpm, d(q_i, p_m)) term). When it covers *all* unvisited cells,
+    // Dmpm alone is the bound (and +inf correctly proves no unseen match).
+    const double bound = truncated ? std::min(dmpm, last_mdist) : dmpm;
+    if (bound == kInfDist) return kInfDist;
+    total += bound;
+  }
+  return total;
+}
+
+void GatSearcher::ProcessCandidate(State& state, TrajectoryId t) const {
+  ++state.stats.candidates_retrieved;
+
+  // Validation stage 1: trajectory activity sketch (no disk access).
+  if (params_.use_tas &&
+      !index_.tas().MightContainAll(t, state.query_union)) {
+    ++state.stats.tas_pruned;
+    return;
+  }
+  // Validation stage 2: exact check against the activity posting lists.
+  // Fetching a candidate's APL is one disk read; the subsequent MIB check
+  // and distance evaluation reuse the fetched lists.
+  if (!index_.apl().HasAllActivities(t, state.query_union, &state.disk)) {
+    ++state.stats.activity_rejected;
+    return;
+  }
+  // Validation stage 3 (OATSQ only): matching index bounds (Section VI-B).
+  if (state.kind == QueryKind::kOatsq &&
+      !MibValidFromApl(state.query, t, nullptr)) {
+    ++state.stats.mib_rejected;
+    return;
+  }
+
+  double distance;
+  if (state.kind == QueryKind::kAtsq) {
+    distance = DmmFromApl(state.query, t, nullptr);
+  } else {
+    // Dmom needs the full point sequence: fetch the trajectory (simulated
+    // disk read) and run the Algorithm-4 DP with the running k-th best
+    // Dmom as the pruning threshold.
+    state.disk.RecordRead();
+    distance = MinOrderSensitiveMatchDistance(dataset_.trajectory(t),
+                                              state.query,
+                                              state.collector.Threshold());
+  }
+  ++state.stats.distance_computations;
+  state.collector.Offer(t, distance);
+}
+
+double GatSearcher::DmmFromApl(const Query& query, TrajectoryId t,
+                               DiskAccessCounter* disk) const {
+  const auto& tr = dataset_.trajectory(t);
+  double total = 0.0;
+  std::unordered_map<PointIndex, ActivityMask> point_masks;
+  for (const auto& q : query.points()) {
+    if (q.activities.empty()) continue;
+    const int bits = static_cast<int>(
+        std::min<size_t>(q.activities.size(), kMaxQueryActivities));
+    // CP of Algorithm 3, assembled from the activity posting lists: the
+    // mask bit b of a point is set iff the point appears in the posting
+    // list of q.activities[b].
+    point_masks.clear();
+    for (int b = 0; b < bits; ++b) {
+      for (PointIndex idx : index_.apl().Postings(t, q.activities[b], disk)) {
+        point_masks[idx] |= ActivityMask{1} << b;
+      }
+    }
+    std::vector<MatchPoint> cp;
+    cp.reserve(point_masks.size());
+    for (const auto& [idx, mask] : point_masks) {
+      cp.push_back(
+          MatchPoint{Distance(tr[idx].location, q.location), mask, idx});
+    }
+    const double d = MinPointMatchDistance(std::move(cp), bits).distance;
+    if (d == kInfDist) return kInfDist;
+    total += d;
+  }
+  return total;
+}
+
+bool GatSearcher::MibValidFromApl(const Query& query, TrajectoryId t,
+                                  DiskAccessCounter* disk) const {
+  // MIB(q_i) over the union of q_i's activity posting lists (each sorted
+  // ascending): lb = min of first entries, ub = max of last entries.
+  std::vector<MatchingIndexBound> mibs;
+  mibs.reserve(query.size());
+  for (const auto& q : query.points()) {
+    MatchingIndexBound mib;
+    for (ActivityId a : q.activities) {
+      const auto postings = index_.apl().Postings(t, a, disk);
+      if (postings.empty()) continue;
+      if (!mib.valid) {
+        mib.lb = postings.front();
+        mib.ub = postings.back();
+        mib.valid = true;
+      } else {
+        mib.lb = std::min(mib.lb, postings.front());
+        mib.ub = std::max(mib.ub, postings.back());
+      }
+    }
+    if (!mib.valid && !q.activities.empty()) return false;
+    mibs.push_back(mib);
+  }
+  for (size_t i = 0; i < mibs.size(); ++i) {
+    if (!mibs[i].valid) continue;
+    for (size_t j = i + 1; j < mibs.size(); ++j) {
+      if (mibs[j].valid && mibs[i].lb > mibs[j].ub) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gat

@@ -1,0 +1,45 @@
+#ifndef GAT_SEARCH_SEARCH_STATS_H_
+#define GAT_SEARCH_SEARCH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gat {
+
+/// Counters shared by all four searchers (GAT, IL, RT, IRT) so that the
+/// experiment harness and the ablation benches can explain *why* one method
+/// beats another, not just report wall-clock.
+struct SearchStats {
+  /// Trajectories handed to the validation pipeline.
+  uint64_t candidates_retrieved = 0;
+  /// Candidates rejected by the TAS sketch (GAT only).
+  uint64_t tas_pruned = 0;
+  /// Candidates rejected by exact APL / activity containment check.
+  uint64_t activity_rejected = 0;
+  /// Candidates rejected by the matching-index-bound order check (OATSQ).
+  uint64_t mib_rejected = 0;
+  /// Full distance evaluations (Dmm or Dmom) performed.
+  uint64_t distance_computations = 0;
+  /// Grid cells / R-tree nodes popped from the best-first queue.
+  uint64_t nodes_popped = 0;
+  /// Entries pushed onto the best-first queue.
+  uint64_t heap_pushes = 0;
+  /// Retrieval rounds of Algorithm 1 (GAT) / stream advances (RT, IRT).
+  uint64_t rounds = 0;
+  /// Simulated disk reads (APL fetches, low HICL levels).
+  uint64_t disk_reads = 0;
+  /// Wall-clock of the whole query.
+  double elapsed_ms = 0.0;
+
+  void Reset() { *this = SearchStats{}; }
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+
+  /// Accumulates counters (for averaging across a query workload).
+  SearchStats& operator+=(const SearchStats& other);
+};
+
+}  // namespace gat
+
+#endif  // GAT_SEARCH_SEARCH_STATS_H_

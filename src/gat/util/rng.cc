@@ -1,0 +1,107 @@
+#include "gat/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gat/common/check.h"
+
+namespace gat {
+namespace {
+
+// SplitMix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextU64(uint64_t bound) {
+  GAT_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling would be overkill here;
+  // modulo bias is negligible for bounds far below 2^64.
+  return NextU64() % bound;
+}
+
+uint32_t Rng::NextU32(uint32_t bound) {
+  return static_cast<uint32_t>(NextU64(bound));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller. Guard against log(0).
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+uint32_t Rng::NextPoisson(double mean) {
+  GAT_DCHECK(mean >= 0.0);
+  const double l = std::exp(-mean);
+  uint32_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l && k < 10000);
+  return k - 1;
+}
+
+std::vector<uint32_t> Rng::SampleDistinct(uint32_t n, uint32_t count) {
+  GAT_CHECK(count <= n);
+  // Floyd's algorithm: O(count) expected insertions.
+  std::vector<uint32_t> picked;
+  picked.reserve(count);
+  for (uint32_t j = n - count; j < n; ++j) {
+    uint32_t t = NextU32(j + 1);
+    bool seen = false;
+    for (uint32_t v : picked) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace gat

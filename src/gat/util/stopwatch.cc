@@ -1,0 +1,4 @@
+#include "gat/util/stopwatch.h"
+
+// Header-only; this translation unit exists so the build exposes a stable
+// object for the target and to keep one-.cc-per-header symmetry.

@@ -1,0 +1,35 @@
+#ifndef GAT_UTIL_STOPWATCH_H_
+#define GAT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gat {
+
+/// Wall-clock stopwatch used by the experiment harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_UTIL_STOPWATCH_H_

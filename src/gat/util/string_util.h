@@ -1,0 +1,28 @@
+#ifndef GAT_UTIL_STRING_UTIL_H_
+#define GAT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace gat {
+
+/// Formats a count with thousands separators ("1,234,567") for harness
+/// tables.
+std::string FormatWithCommas(uint64_t value);
+
+/// Fixed-precision double formatting ("12.34").
+std::string FormatDouble(double value, int precision);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace gat
+
+#endif  // GAT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,77 @@
+#ifndef GAT_UTIL_TOP_K_H_
+#define GAT_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gat/common/check.h"
+#include "gat/common/types.h"
+
+namespace gat {
+
+/// Bounded top-k collector keyed by ascending distance.
+///
+/// All four searchers (GAT, IL, RT, IRT) track "the k-th smallest minimum
+/// match distance found so far" (the Dkmm / Dkmom threshold of Algorithm 1);
+/// this class is that shared piece: a size-k max-heap whose root is the
+/// current threshold.
+class TopKCollector {
+ public:
+  struct Entry {
+    double distance;
+    TrajectoryId trajectory;
+
+    bool operator<(const Entry& other) const {
+      // Max-heap on distance; ties broken by trajectory id so the heap
+      // (and thus the emitted result order) is deterministic.
+      if (distance != other.distance) return distance < other.distance;
+      return trajectory < other.trajectory;
+    }
+  };
+
+  explicit TopKCollector(size_t k) : k_(k) { GAT_CHECK(k > 0); }
+
+  /// Offers a candidate; keeps it only if it beats the current k-th best.
+  /// Returns true if the candidate entered the heap.
+  bool Offer(TrajectoryId trajectory, double distance) {
+    if (distance == kInfDist) return false;
+    Entry e{distance, trajectory};
+    if (heap_.size() < k_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (e < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = e;
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    return false;
+  }
+
+  /// Current k-th smallest distance, or +infinity while fewer than k
+  /// results have been collected (the pruning threshold of Algorithm 1).
+  double Threshold() const {
+    return heap_.size() < k_ ? kInfDist : heap_.front().distance;
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+  /// Extracts results sorted by ascending distance (ties by trajectory id).
+  std::vector<Entry> SortedResults() const {
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_UTIL_TOP_K_H_

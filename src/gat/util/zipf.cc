@@ -1,0 +1,35 @@
+#include "gat/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+ZipfSampler::ZipfSampler(uint32_t n, double theta) : n_(n), theta_(theta) {
+  GAT_CHECK(n > 0);
+  GAT_CHECK(theta >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r) + 1.0, theta);
+    cdf_[r] = acc;
+  }
+  const double total = acc;
+  for (uint32_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint32_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint32_t rank) const {
+  GAT_CHECK(rank < n_);
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace gat

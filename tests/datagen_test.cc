@@ -1,0 +1,152 @@
+// Tests for the synthetic check-in generator and the query workload
+// generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/model/dataset_stats.h"
+
+namespace gat {
+namespace {
+
+TEST(CheckinGenerator, DeterministicForSameSeed) {
+  const Dataset a = GenerateCity(CityProfile::Testing(100, 9));
+  const Dataset b = GenerateCity(CityProfile::Testing(100, 9));
+  ASSERT_EQ(a.size(), b.size());
+  for (TrajectoryId t = 0; t < a.size(); ++t) {
+    const auto& ta = a.trajectory(t);
+    const auto& tb = b.trajectory(t);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+      ASSERT_EQ(ta[i].location, tb[i].location);
+      ASSERT_EQ(ta[i].activities, tb[i].activities);
+    }
+  }
+}
+
+TEST(CheckinGenerator, DifferentSeedsDiffer) {
+  const Dataset a = GenerateCity(CityProfile::Testing(50, 1));
+  const Dataset b = GenerateCity(CityProfile::Testing(50, 2));
+  bool identical = a.size() == b.size();
+  if (identical) {
+    for (TrajectoryId t = 0; t < a.size() && identical; ++t) {
+      identical = a.trajectory(t).size() == b.trajectory(t).size();
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(CheckinGenerator, StatsTrackProfile) {
+  CityProfile p = CityProfile::Testing(400, 33);
+  p.mean_points_per_trajectory = 15.0;
+  p.mean_activities_per_point = 2.5;
+  const Dataset d = GenerateCity(p);
+  const auto s = DatasetStats::Collect(d);
+  EXPECT_EQ(s.num_trajectories, 400u);
+  EXPECT_NEAR(s.avg_points_per_trajectory, 15.0, 2.5);
+  EXPECT_NEAR(s.avg_activities_per_point, 2.5, 0.4);
+  EXPECT_LE(s.extent_width_km, p.width_km + 1e-9);
+  EXPECT_LE(s.extent_height_km, p.height_km + 1e-9);
+  EXPECT_GT(s.num_distinct_activities, 10u);
+}
+
+TEST(CheckinGenerator, FrequenciesAreZipfSkewed) {
+  const Dataset d = GenerateCity(CityProfile::Testing(300, 44));
+  const auto& freqs = d.activity_frequencies();
+  ASSERT_GT(freqs.size(), 8u);
+  // Frequency-ranked IDs: non-increasing, with real skew between the head
+  // and the tail.
+  for (size_t i = 1; i < freqs.size(); ++i) ASSERT_LE(freqs[i], freqs[i - 1]);
+  EXPECT_GT(freqs.front(), 4 * freqs.back());
+}
+
+TEST(CheckinGenerator, PaperProfilesScaleCorrectly) {
+  const CityProfile la = CityProfile::LosAngeles(0.01);
+  EXPECT_EQ(la.num_trajectories, 316u);  // 31,557 * 0.01
+  const CityProfile ny = CityProfile::NewYork(0.01);
+  EXPECT_EQ(ny.num_trajectories, 490u);
+  // LA trajectories carry more activity than NY's — the Table-IV ratio the
+  // paper's analysis leans on.
+  EXPECT_GT(la.mean_points_per_trajectory * la.mean_activities_per_point,
+            ny.mean_points_per_trajectory * ny.mean_activities_per_point);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(QueryGenerator, RespectsWorkloadShape) {
+  const Dataset d = GenerateCity(CityProfile::Testing(300, 10));
+  QueryWorkloadParams wp;
+  wp.num_query_points = 4;
+  wp.activities_per_point = 3;
+  wp.num_queries = 25;
+  wp.seed = 77;
+  QueryGenerator gen(d, wp);
+  for (const Query& q : gen.Workload()) {
+    ASSERT_EQ(q.size(), 4u);
+    for (const auto& qp : q.points()) {
+      ASSERT_GE(qp.activities.size(), 1u);
+      ASSERT_LE(qp.activities.size(), 3u);
+    }
+  }
+}
+
+TEST(QueryGenerator, QueriesAreSatisfiable) {
+  // Queries sampled from existing trajectories must have at least one
+  // order-sensitive match in the dataset (the source trajectory).
+  const Dataset d = GenerateCity(CityProfile::Testing(200, 11));
+  QueryWorkloadParams wp;
+  wp.num_queries = 15;
+  wp.seed = 78;
+  QueryGenerator gen(d, wp);
+  for (const Query& q : gen.Workload()) {
+    bool matched = false;
+    for (TrajectoryId t = 0; t < d.size() && !matched; ++t) {
+      std::vector<ActivityId> demanded = q.ActivityUnion();
+      const auto available = d.trajectory(t).ActivityUnion();
+      matched = std::includes(available.begin(), available.end(),
+                              demanded.begin(), demanded.end());
+    }
+    ASSERT_TRUE(matched);
+  }
+}
+
+TEST(QueryGenerator, DiameterControl) {
+  const Dataset d = GenerateCity(CityProfile::Testing(400, 12));
+  for (double target : {2.0, 5.0, 10.0}) {
+    QueryWorkloadParams wp;
+    wp.diameter_km = target;
+    wp.num_queries = 10;
+    wp.seed = 79;
+    QueryGenerator gen(d, wp);
+    for (const Query& q : gen.Workload()) {
+      // Accepted directly or rescaled in the fallback: within 50% of the
+      // target is the loose sanity envelope.
+      EXPECT_NEAR(q.Diameter(), target, target * 0.5);
+    }
+  }
+}
+
+TEST(QueryGenerator, DeterministicWorkload) {
+  const Dataset d = GenerateCity(CityProfile::Testing(150, 13));
+  QueryWorkloadParams wp;
+  wp.num_queries = 5;
+  wp.seed = 80;
+  QueryGenerator g1(d, wp);
+  QueryGenerator g2(d, wp);
+  const auto w1 = g1.Workload();
+  const auto w2 = g2.Workload();
+  ASSERT_EQ(w1.size(), w2.size());
+  for (size_t i = 0; i < w1.size(); ++i) {
+    ASSERT_EQ(w1[i].size(), w2[i].size());
+    for (size_t j = 0; j < w1[i].size(); ++j) {
+      ASSERT_EQ(w1[i][j].location, w2[i][j].location);
+      ASSERT_EQ(w1[i][j].activities, w2[i][j].activities);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gat

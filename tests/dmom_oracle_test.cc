@@ -1,0 +1,161 @@
+// Validates Algorithm 4 (the Dmom dynamic program) against a brute-force
+// oracle that enumerates every order-sensitive match explicitly
+// (Definition 7), on randomized small inputs. This covers the search space
+// far beyond the single Table-III worked example.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "gat/common/check.h"
+#include "gat/core/order_match.h"
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+/// Exhaustive Dmom: choose for each query point i a subset P_i of its
+/// match points that covers q_i.Phi, such that max(index(P_{i-1})) <=
+/// min(index(P_i)) (Definition 7 allows equality), minimizing the summed
+/// distance. Exponential — only for tiny inputs.
+double OracleDmom(const OrderMatchInput& input) {
+  const size_t m = input.match_points.size();
+
+  // Pre-enumerate, per query point, every covering subset of its match
+  // points with (cost, min_pos, max_pos).
+  struct Option {
+    double cost;
+    PointIndex min_pos;
+    PointIndex max_pos;
+  };
+  std::vector<std::vector<Option>> options(m);
+  for (size_t i = 0; i < m; ++i) {
+    const auto& mps = input.match_points[i];
+    const int bits = input.activity_counts[i];
+    if (bits == 0) {
+      // Empty Phi: the empty subset matches at zero cost with no position
+      // constraint; model as an option spanning nothing.
+      options[i].push_back(Option{0.0, 0, static_cast<PointIndex>(
+                                              input.trajectory_length)});
+      continue;
+    }
+    const ActivityMask full = (ActivityMask{1} << bits) - 1;
+    const size_t n = mps.size();
+    GAT_CHECK(n <= 16);  // oracle enumeration limit
+    for (uint32_t subset = 1; subset < (1u << n); ++subset) {
+      ActivityMask covered = 0;
+      double cost = 0.0;
+      PointIndex lo = std::numeric_limits<PointIndex>::max();
+      PointIndex hi = 0;
+      for (size_t p = 0; p < n; ++p) {
+        if (!(subset & (1u << p))) continue;
+        covered |= mps[p].mask;
+        cost += mps[p].distance;
+        lo = std::min(lo, mps[p].point_index);
+        hi = std::max(hi, mps[p].point_index);
+      }
+      if ((covered & full) == full) {
+        options[i].push_back(Option{cost, lo, hi});
+      }
+    }
+  }
+
+  // DFS over query points with a running boundary: every point of P_i must
+  // sit at or after the last point of P_{i-1}.
+  double best = kInfDist;
+  std::vector<size_t> pick(m, 0);
+  std::function<void(size_t, PointIndex, double)> dfs =
+      [&](size_t i, PointIndex boundary, double cost) {
+        if (cost >= best) return;
+        if (i == m) {
+          best = cost;
+          return;
+        }
+        for (const auto& opt : options[i]) {
+          const bool unconstrained =
+              input.activity_counts[i] == 0;  // empty Phi matches anywhere
+          if (!unconstrained && opt.min_pos < boundary) continue;
+          const PointIndex next_boundary =
+              unconstrained ? boundary : opt.max_pos;
+          dfs(i + 1, next_boundary, cost + opt.cost);
+        }
+      };
+  dfs(0, 0, 0.0);
+  return best;
+}
+
+struct OracleParam {
+  int num_query_points;
+  int activities_per_point;
+  int trajectory_length;
+  uint64_t seed;
+};
+
+class DmomOracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(DmomOracleTest, Algorithm4MatchesExhaustiveEnumeration) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  for (int round = 0; round < 60; ++round) {
+    OrderMatchInput input;
+    input.trajectory_length = p.trajectory_length;
+    for (int i = 0; i < p.num_query_points; ++i) {
+      input.activity_counts.push_back(p.activities_per_point);
+      std::vector<MatchPoint> mps;
+      for (PointIndex pos = 0; pos < static_cast<PointIndex>(p.trajectory_length);
+           ++pos) {
+        if (!rng.NextBool(0.6)) continue;  // point has no q_i activities
+        ActivityMask mask = 0;
+        for (int b = 0; b < p.activities_per_point; ++b) {
+          if (rng.NextBool(0.4)) mask |= ActivityMask{1} << b;
+        }
+        if (mask == 0) continue;
+        mps.push_back(MatchPoint{rng.NextDouble(0.0, 50.0), mask, pos});
+      }
+      input.match_points.push_back(std::move(mps));
+    }
+
+    const double expected = OracleDmom(input);
+    const double actual = MinOrderSensitiveMatchDistance(input, kInfDist);
+    if (expected == kInfDist) {
+      ASSERT_EQ(actual, kInfDist) << "round " << round;
+    } else {
+      ASSERT_NEAR(actual, expected, 1e-9) << "round " << round;
+    }
+
+    // Threshold pruning must never change a non-pruned answer and must
+    // return infinity when the threshold is strictly below the answer.
+    if (expected != kInfDist) {
+      ASSERT_NEAR(
+          MinOrderSensitiveMatchDistance(input, expected + 1.0), expected,
+          1e-9);
+      ASSERT_EQ(MinOrderSensitiveMatchDistance(input, expected * 0.5 - 1.0),
+                kInfDist);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInputs, DmomOracleTest,
+    ::testing::Values(OracleParam{1, 2, 5, 1}, OracleParam{2, 2, 6, 2},
+                      OracleParam{2, 3, 7, 3}, OracleParam{3, 2, 8, 4},
+                      OracleParam{3, 3, 6, 5}, OracleParam{4, 2, 7, 6},
+                      OracleParam{2, 1, 10, 7}, OracleParam{3, 1, 12, 8}));
+
+TEST(DmomOracle, SharedBoundaryPointIsLegal) {
+  // One point carrying both query points' demands at position 0: Definition
+  // 7 allows index equality, so both may match it.
+  OrderMatchInput input;
+  input.trajectory_length = 1;
+  input.activity_counts = {1, 1};
+  input.match_points = {{MatchPoint{2.0, 0b1, 0}},
+                        {MatchPoint{3.0, 0b1, 0}}};
+  EXPECT_DOUBLE_EQ(OracleDmom(input), 5.0);
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(input, kInfDist), 5.0);
+}
+
+}  // namespace
+}  // namespace gat

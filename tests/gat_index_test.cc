@@ -1,0 +1,304 @@
+// Tests for the GAT index components: HICL, ITL, TAS, APL and the composed
+// GatIndex builder.
+
+#include "gat/index/gat_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/geo/zorder.h"
+
+namespace gat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HICL
+// ---------------------------------------------------------------------------
+
+TEST(Hicl, AggregatesLeafOccupancyUpward) {
+  // depth 3; activity 0 occurs in leaf cells 5 and 40.
+  Hicl hicl(3, 2, {{5, 40}});
+  EXPECT_TRUE(hicl.Contains(0, 3, 5));
+  EXPECT_TRUE(hicl.Contains(0, 3, 40));
+  EXPECT_FALSE(hicl.Contains(0, 3, 6));
+  EXPECT_TRUE(hicl.Contains(0, 2, 5 >> 2));
+  EXPECT_TRUE(hicl.Contains(0, 2, 40 >> 2));
+  EXPECT_TRUE(hicl.Contains(0, 1, 5 >> 4));
+  EXPECT_TRUE(hicl.Contains(0, 1, 40 >> 4));
+  EXPECT_FALSE(hicl.Contains(0, 1, 3));
+}
+
+TEST(Hicl, CellsWithAnyIsSortedUnion) {
+  Hicl hicl(2, 2, {{1, 7}, {7, 9}, {}});
+  EXPECT_EQ(hicl.CellsWithAny({0, 1}, 2), (std::vector<uint32_t>{1, 7, 9}));
+  EXPECT_TRUE(hicl.CellsWithAny({2}, 2).empty());
+  EXPECT_TRUE(hicl.CellsWithAny({}, 2).empty());
+}
+
+TEST(Hicl, ChildrenWithAnyFiltersEmptyQuadrants) {
+  // Leaf cells 0..3 are the children of level-1 cell 0; only 0 and 3 have
+  // the activity.
+  Hicl hicl(2, 2, {{0, 3}});
+  std::vector<uint32_t> out;
+  hicl.ChildrenWithAny({0}, 1, 0, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(Hicl, UnknownActivityIsEverywhereAbsent) {
+  Hicl hicl(2, 2, {{1}});
+  EXPECT_FALSE(hicl.Contains(99, 2, 1));
+  EXPECT_TRUE(hicl.CellsAt(99, 1).empty());
+}
+
+TEST(Hicl, DiskTierAccounting) {
+  // depth 3, memory_levels 1: levels 2-3 are disk tier.
+  Hicl hicl(3, 1, {{0, 1, 2, 3}});
+  // Level 3 stores 4 codes, level 2 stores 1, level 1 stores 1.
+  EXPECT_EQ(hicl.MemoryBytes(), 1 * sizeof(uint32_t));
+  EXPECT_EQ(hicl.DiskBytes(), 5 * sizeof(uint32_t));
+  DiskAccessCounter disk;
+  hicl.Contains(0, 3, 0, &disk);  // disk level
+  hicl.Contains(0, 1, 0, &disk);  // memory level
+  EXPECT_EQ(disk.reads, 1u);
+}
+
+TEST(Hicl, MemoryLevelsForBudget) {
+  // C = 100 activities, 4 bytes per cell id. Level 1 worst case = 4 cells
+  // * 100 * 4B = 1600B; level 2 adds 16*100*4 = 6400B.
+  EXPECT_EQ(Hicl::MemoryLevelsForBudget(1599, 100, 8), 0);
+  EXPECT_EQ(Hicl::MemoryLevelsForBudget(1600, 100, 8), 1);
+  EXPECT_EQ(Hicl::MemoryLevelsForBudget(8000, 100, 8), 2);
+  // Budget beyond all levels caps at depth.
+  EXPECT_EQ(Hicl::MemoryLevelsForBudget(size_t{1} << 40, 100, 3), 3);
+}
+
+// ---------------------------------------------------------------------------
+// ITL
+// ---------------------------------------------------------------------------
+
+TEST(Itl, PostingsRoundTrip) {
+  Itl::Builder builder;
+  builder[7][2] = {0, 4, 1, 4};  // unsorted, with duplicate
+  builder[7][5] = {3};
+  builder[9][2] = {2};
+  Itl itl(std::move(builder));
+  EXPECT_EQ(itl.num_cells(), 2u);
+
+  const auto t72 = itl.Trajectories(7, 2);
+  EXPECT_EQ(std::vector<TrajectoryId>(t72.begin(), t72.end()),
+            (std::vector<TrajectoryId>{0, 1, 4}));
+  const auto t75 = itl.Trajectories(7, 5);
+  EXPECT_EQ(std::vector<TrajectoryId>(t75.begin(), t75.end()),
+            (std::vector<TrajectoryId>{3}));
+  EXPECT_TRUE(itl.Trajectories(7, 99).empty());
+  EXPECT_TRUE(itl.Trajectories(8, 2).empty());
+
+  const auto acts = itl.ActivitiesIn(7);
+  EXPECT_EQ(std::vector<ActivityId>(acts.begin(), acts.end()),
+            (std::vector<ActivityId>{2, 5}));
+  EXPECT_TRUE(itl.ActivitiesIn(8).empty());
+  EXPECT_GT(itl.MemoryBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TAS
+// ---------------------------------------------------------------------------
+
+TEST(Tas, FigureTwoExample) {
+  // Figure 2(iii): Tr1 activities {a..e}\{f} sketch [a,b] [c,e];
+  // Tr2 {a,c,d,e,f}... the paper shows [a,c] [d,f]; Tr3 {b,c,e,f} ->
+  // [b,c] [e,f]. With a=0..f=5 and M=2.
+  const std::vector<std::vector<ActivityId>> sets = {
+      {0, 1, 2, 3, 4}, {0, 2, 3, 5}, {1, 2, 4, 5}};
+  Tas tas(sets, 2);
+  // Tr1 {a,b,c,d,e}: the largest gap is any of the unit gaps; the sketch
+  // must cover exactly the IDs and contain no false negatives.
+  for (size_t t = 0; t < sets.size(); ++t) {
+    for (ActivityId a : sets[t]) {
+      EXPECT_TRUE(tas.MightContain(static_cast<TrajectoryId>(t), a));
+    }
+  }
+  // Tr3's sketch is [b,c] ∪ [e,f] (gap between c=2 and e=4 is the largest):
+  const auto iv3 = tas.Intervals(2);
+  ASSERT_EQ(iv3.size(), 2u);
+  EXPECT_EQ(iv3[0].lo, 1u);
+  EXPECT_EQ(iv3[0].hi, 2u);
+  EXPECT_EQ(iv3[1].lo, 4u);
+  EXPECT_EQ(iv3[1].hi, 5u);
+  // And it correctly excludes a=0 and d=3 — the paper's Tr3 rejection.
+  EXPECT_FALSE(tas.MightContain(2, 0));
+  EXPECT_FALSE(tas.MightContain(2, 3));
+  EXPECT_FALSE(tas.MightContainAll(2, {0, 3}));
+}
+
+TEST(Tas, PartitionIsGapOptimal) {
+  // IDs {0, 1, 10, 11, 50}: with M=3 the splits are at gaps 9 (1->10) and
+  // 39 (11->50), total width (1-0)+(11-10)+(50-50) = 2.
+  const auto ivs = Tas::PartitionIds({0, 1, 10, 11, 50}, 3);
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].lo, 0u);
+  EXPECT_EQ(ivs[0].hi, 1u);
+  EXPECT_EQ(ivs[1].lo, 10u);
+  EXPECT_EQ(ivs[1].hi, 11u);
+  EXPECT_EQ(ivs[2].lo, 50u);
+  EXPECT_EQ(ivs[2].hi, 50u);
+}
+
+TEST(Tas, PartitionOptimalityBruteForce) {
+  // Exhaustively verify gap-splitting optimality against all possible
+  // partitions for small inputs: total width must be minimal.
+  const std::vector<ActivityId> ids = {2, 3, 9, 14, 15, 30};
+  for (int m = 1; m <= 4; ++m) {
+    const auto ivs = Tas::PartitionIds(ids, m);
+    uint64_t width = 0;
+    for (const auto& iv : ivs) width += iv.hi - iv.lo;
+    // Brute force: choose m-1 split positions among the 5 gaps.
+    uint64_t best = UINT64_MAX;
+    const int gaps = static_cast<int>(ids.size()) - 1;
+    for (uint32_t mask = 0; mask < (1u << gaps); ++mask) {
+      if (__builtin_popcount(mask) != m - 1) continue;
+      uint64_t w = 0;
+      size_t start = 0;
+      for (int g = 0; g < gaps; ++g) {
+        if (mask & (1u << g)) {
+          w += ids[g] - ids[start];
+          start = g + 1;
+        }
+      }
+      w += ids.back() - ids[start];
+      best = std::min(best, w);
+    }
+    EXPECT_EQ(width, best) << "M=" << m;
+  }
+}
+
+TEST(Tas, SingleIntervalAndEmptySet) {
+  Tas tas({{3, 9}, {}}, 1);
+  EXPECT_TRUE(tas.MightContain(0, 3));
+  EXPECT_TRUE(tas.MightContain(0, 5));  // false positive by design
+  EXPECT_TRUE(tas.MightContain(0, 9));
+  EXPECT_FALSE(tas.MightContain(0, 2));
+  EXPECT_FALSE(tas.MightContain(0, 10));
+  // Empty activity set: nothing might be contained.
+  EXPECT_FALSE(tas.MightContain(1, 0));
+  EXPECT_TRUE(tas.MightContainAll(1, {}));
+}
+
+TEST(Tas, MemoryCostMatchesPaperFormula) {
+  // 8 bytes per interval; N trajectories with >= M distinct IDs use
+  // exactly M intervals each -> 8*M*N bytes.
+  const std::vector<std::vector<ActivityId>> sets = {
+      {0, 10, 20, 30}, {1, 11, 21, 31}, {2, 12, 22, 32}};
+  Tas tas(sets, 3);
+  EXPECT_EQ(tas.MemoryBytes(), 8u * 3u * 3u);
+}
+
+TEST(Tas, NoFalseDismissalsOnGeneratedData) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(150, 77));
+  for (int m : {1, 2, 4, 8}) {
+    std::vector<std::vector<ActivityId>> sets;
+    for (const auto& tr : dataset.trajectories()) {
+      sets.push_back(tr.ActivityUnion());
+    }
+    Tas tas(sets, m);
+    for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+      for (ActivityId a : sets[t]) {
+        ASSERT_TRUE(tas.MightContain(t, a)) << "M=" << m << " t=" << t;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// APL
+// ---------------------------------------------------------------------------
+
+TEST(Apl, PostingsMatchDatasetScan) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(60, 41));
+  Apl apl(dataset);
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    const auto& tr = dataset.trajectory(t);
+    for (ActivityId a : tr.ActivityUnion()) {
+      std::vector<PointIndex> expected;
+      for (PointIndex i = 0; i < tr.size(); ++i) {
+        if (tr[i].HasActivity(a)) expected.push_back(i);
+      }
+      const auto postings = apl.Postings(t, a);
+      ASSERT_EQ(std::vector<PointIndex>(postings.begin(), postings.end()),
+                expected);
+    }
+    EXPECT_TRUE(apl.HasAllActivities(t, tr.ActivityUnion()));
+  }
+}
+
+TEST(Apl, MissingActivityAndDiskCounting) {
+  Dataset d;
+  {
+    std::vector<TrajectoryPoint> pts = {{Point{0, 0}, {0}}};
+    d.Add(Trajectory(std::move(pts)));
+  }
+  d.Finalize();
+  Apl apl(d);
+  DiskAccessCounter disk;
+  EXPECT_TRUE(apl.Postings(0, 42, &disk).empty());
+  EXPECT_FALSE(apl.HasAllActivities(0, {0, 42}, &disk));
+  EXPECT_EQ(disk.reads, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Composed index
+// ---------------------------------------------------------------------------
+
+TEST(GatIndex, BuildOnGeneratedCity) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(200, 55));
+  GatConfig config;
+  config.depth = 6;
+  config.memory_levels = 4;
+  config.tas_intervals = 2;
+  GatIndex index(dataset, config);
+
+  EXPECT_EQ(index.grid().depth(), 6);
+  const auto mem = index.memory_breakdown();
+  EXPECT_GT(mem.hicl_memory, 0u);
+  EXPECT_GT(mem.itl_memory, 0u);
+  EXPECT_GT(mem.tas_memory, 0u);
+  EXPECT_GT(mem.apl_disk, 0u);
+  EXPECT_EQ(mem.MainMemoryTotal(),
+            mem.hicl_memory + mem.itl_memory + mem.tas_memory);
+  EXPECT_FALSE(mem.ToString().empty());
+
+  // Spot-check consistency: every activity-bearing point's leaf cell is
+  // listed in HICL at the leaf level and its trajectory in the ITL.
+  for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+    const auto& tr = dataset.trajectory(t);
+    for (PointIndex i = 0; i < tr.size(); ++i) {
+      const uint32_t leaf = index.grid().LeafCode(tr[i].location);
+      for (ActivityId a : tr[i].activities) {
+        ASSERT_TRUE(index.hicl().Contains(a, config.depth, leaf));
+        const auto trajs = index.itl().Trajectories(leaf, a);
+        ASSERT_TRUE(std::binary_search(trajs.begin(), trajs.end(), t));
+      }
+    }
+  }
+}
+
+TEST(GatIndex, FinerGridCostsMoreMemory) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(150, 66));
+  GatConfig coarse;
+  coarse.depth = 4;
+  coarse.memory_levels = 4;
+  GatConfig fine;
+  fine.depth = 8;
+  fine.memory_levels = 6;
+  const auto coarse_mem =
+      GatIndex(dataset, coarse).memory_breakdown().MainMemoryTotal();
+  const auto fine_mem =
+      GatIndex(dataset, fine).memory_breakdown().MainMemoryTotal();
+  // Figure 8's trend: more partitions -> more memory.
+  EXPECT_GT(fine_mem, coarse_mem);
+}
+
+}  // namespace
+}  // namespace gat

@@ -1,0 +1,93 @@
+// Tests for the hierarchical quad grid geometry.
+
+#include "gat/index/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "gat/geo/zorder.h"
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+TEST(GridGeometry, LeafCodeCornerCells) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{16, 16}}, 2);  // 4x4 cells
+  EXPECT_EQ(grid.LeafCode(Point{0.5, 0.5}), zorder::Encode(0, 0));
+  EXPECT_EQ(grid.LeafCode(Point{15.5, 0.5}), zorder::Encode(3, 0));
+  EXPECT_EQ(grid.LeafCode(Point{0.5, 15.5}), zorder::Encode(0, 3));
+  EXPECT_EQ(grid.LeafCode(Point{15.5, 15.5}), zorder::Encode(3, 3));
+}
+
+TEST(GridGeometry, BoundaryPointsClampIntoGrid) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{8, 8}}, 3);
+  // The max corner itself lands in the last cell, not outside.
+  EXPECT_EQ(grid.LeafCode(Point{8, 8}), zorder::Encode(7, 7));
+  // Points outside the space clamp to border cells.
+  EXPECT_EQ(grid.LeafCode(Point{-5, 4}), grid.LeafCode(Point{0, 4}));
+  EXPECT_EQ(grid.LeafCode(Point{100, 100}), zorder::Encode(7, 7));
+}
+
+TEST(GridGeometry, CellRectTilesTheSpace) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{10, 10}}, 2);
+  double total_area = 0.0;
+  for (uint32_t code = 0; code < grid.CellCount(2); ++code) {
+    total_area += grid.CellRect(2, code).Area();
+  }
+  EXPECT_NEAR(total_area, grid.space().Area(), 1e-6);
+}
+
+TEST(GridGeometry, PointsFallInsideTheirLeafCell) {
+  GridGeometry grid(Rect{Point{-3, 2}, Point{21, 17}}, 5);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.NextDouble(-3, 21), rng.NextDouble(2, 17)};
+    const uint32_t code = grid.LeafCode(p);
+    EXPECT_TRUE(grid.CellRect(grid.depth(), code).Contains(p))
+        << "point " << ToString(p);
+  }
+}
+
+TEST(GridGeometry, ParentCellContainsChildCells) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{32, 32}}, 4);
+  Rng rng(32);
+  for (int level = 1; level < 4; ++level) {
+    for (int i = 0; i < 50; ++i) {
+      const uint32_t code = rng.NextU32(
+          static_cast<uint32_t>(grid.CellCount(level)));
+      const Rect parent = grid.CellRect(level, code);
+      const uint32_t first = zorder::FirstChild(code);
+      for (uint32_t c = first; c < first + 4; ++c) {
+        const Rect child = grid.CellRect(level + 1, c);
+        EXPECT_TRUE(parent.Contains(child.min));
+        EXPECT_TRUE(parent.Contains(child.max));
+      }
+    }
+  }
+}
+
+TEST(GridGeometry, MinDistMatchesRectMinDist) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{10, 10}}, 3);
+  const Point q{-2, 5};
+  for (uint32_t code = 0; code < 16; ++code) {
+    EXPECT_DOUBLE_EQ(grid.MinDistToCell(q, 3, code),
+                     MinDist(q, grid.CellRect(3, code)));
+  }
+}
+
+TEST(GridGeometry, DegenerateExtentStillWorks) {
+  // All points on a horizontal line.
+  GridGeometry grid(Rect{Point{0, 5}, Point{10, 5}}, 3);
+  const uint32_t a = grid.LeafCode(Point{0, 5});
+  const uint32_t b = grid.LeafCode(Point{10, 5});
+  EXPECT_NE(a, b);  // x still discriminates
+}
+
+TEST(GridGeometry, DepthOneHasFourCells) {
+  GridGeometry grid(Rect{Point{0, 0}, Point{4, 4}}, 1);
+  EXPECT_EQ(grid.CellCount(1), 4u);
+  EXPECT_EQ(grid.LeafCode(Point{1, 1}), zorder::Encode(0, 0));
+  EXPECT_EQ(grid.LeafCode(Point{3, 3}), zorder::Encode(1, 1));
+}
+
+}  // namespace
+}  // namespace gat

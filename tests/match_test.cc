@@ -1,0 +1,240 @@
+// Tests for Dmm / Dbm and the Figure-1 running example of the paper.
+
+#include "gat/core/match.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gat/core/point_match.h"
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+// Activity IDs for the Figure-1 alphabet.
+constexpr ActivityId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+
+// The Figure-1 example is defined by distance *matrices*, not coordinates,
+// so the fixtures drive the mask/distance kernels directly.
+struct MatrixFixture {
+  // Per trajectory point: activity set.
+  std::vector<std::vector<ActivityId>> point_activities;
+  // row[i][j] = d(q_i, p_j).
+  std::vector<std::vector<double>> distances;
+  // Per query point: demanded activities.
+  std::vector<std::vector<ActivityId>> query_activities;
+
+  std::vector<MatchPoint> CandidatesFor(size_t qi) const {
+    std::vector<MatchPoint> cp;
+    for (size_t j = 0; j < point_activities.size(); ++j) {
+      const ActivityMask mask =
+          ComputeMask(query_activities[qi], point_activities[j]);
+      if (mask == 0) continue;
+      cp.push_back(MatchPoint{distances[qi][j], mask,
+                              static_cast<PointIndex>(j)});
+    }
+    return cp;
+  }
+
+  double Dmm() const {
+    double total = 0.0;
+    for (size_t qi = 0; qi < query_activities.size(); ++qi) {
+      const double d =
+          MinPointMatchDistance(
+              CandidatesFor(qi),
+              static_cast<int>(query_activities[qi].size()))
+              .distance;
+      if (d == kInfDist) return kInfDist;
+      total += d;
+    }
+    return total;
+  }
+};
+
+MatrixFixture FigureOneTr1() {
+  MatrixFixture f;
+  f.point_activities = {{kD}, {kA, kC}, {kB}, {kC}, {kD, kE}};
+  f.distances = {{2, 8, 16, 24, 32},   // q1 {a,b}
+                 {14, 6, 3, 11, 20},   // q2 {c,d}
+                 {33, 25, 17, 8, 1}};  // q3 {e}
+  f.query_activities = {{kA, kB}, {kC, kD}, {kE}};
+  return f;
+}
+
+MatrixFixture FigureOneTr2() {
+  MatrixFixture f;
+  f.point_activities = {{kA}, {kB, kC}, {kC, kD}, {kE}, {kF}};
+  f.distances = {{6, 8, 17, 26, 31},
+                 {14, 13, 4, 13, 20},
+                 {32, 28, 16, 7, 3}};
+  f.query_activities = {{kA, kB}, {kC, kD}, {kE}};
+  return f;
+}
+
+TEST(FigureOneExample, MinimumPointMatchOfQ2OnTr1) {
+  // The paper: with the distance matrix, {p1,1, p1,2} is the minimum point
+  // match of q2 = {c, d}, at distance 14 + 6 = 20.
+  const auto f = FigureOneTr1();
+  std::vector<PointIndex> witness;
+  const double d = ExhaustiveMinPointMatch(f.CandidatesFor(1), 2, &witness);
+  EXPECT_DOUBLE_EQ(d, 20.0);
+  EXPECT_EQ(witness, (std::vector<PointIndex>{0, 1}));
+}
+
+TEST(FigureOneExample, MinimumMatchDistances) {
+  // Tr1.MM(Q) = {{p12,p13},{p11,p12},{p15}} -> 24 + 20 + 1 = 45;
+  // Tr2.MM(Q) = {{p21,p22},{p23},{p24}}     -> 14 + 4 + 7 = 25.
+  EXPECT_DOUBLE_EQ(FigureOneTr1().Dmm(), 45.0);
+  EXPECT_DOUBLE_EQ(FigureOneTr2().Dmm(), 25.0);
+}
+
+TEST(FigureOneExample, Tr2IsMoreSimilarDespiteBeingSpatiallyFarther) {
+  // The motivating observation of the introduction: pure geometry would
+  // rank Tr1 first, but activity-aware matching ranks Tr2 first.
+  EXPECT_LT(FigureOneTr2().Dmm(), FigureOneTr1().Dmm());
+}
+
+TEST(FigureOneExample, MinimumMatchWitnesses) {
+  const auto f2 = FigureOneTr2();
+  std::vector<PointIndex> w;
+  EXPECT_DOUBLE_EQ(ExhaustiveMinPointMatch(f2.CandidatesFor(0), 2, &w), 14.0);
+  EXPECT_EQ(w, (std::vector<PointIndex>{0, 1}));  // {p2,1, p2,2}
+  EXPECT_DOUBLE_EQ(ExhaustiveMinPointMatch(f2.CandidatesFor(1), 2, &w), 4.0);
+  EXPECT_EQ(w, (std::vector<PointIndex>{2}));  // {p2,3}
+  EXPECT_DOUBLE_EQ(ExhaustiveMinPointMatch(f2.CandidatesFor(2), 1, &w), 7.0);
+  EXPECT_EQ(w, (std::vector<PointIndex>{3}));  // {p2,4}
+}
+
+// ---------------------------------------------------------------------------
+// ComputeMask
+// ---------------------------------------------------------------------------
+
+TEST(ComputeMask, BitPositionsFollowQueryOrder) {
+  const std::vector<ActivityId> query = {3, 7, 9};
+  EXPECT_EQ(ComputeMask(query, {3}), 0b001u);
+  EXPECT_EQ(ComputeMask(query, {7}), 0b010u);
+  EXPECT_EQ(ComputeMask(query, {9}), 0b100u);
+  EXPECT_EQ(ComputeMask(query, {3, 9}), 0b101u);
+  EXPECT_EQ(ComputeMask(query, {1, 2, 8}), 0u);
+  EXPECT_EQ(ComputeMask(query, {}), 0u);
+  EXPECT_EQ(ComputeMask({}, {1, 2}), 0u);
+}
+
+TEST(ComputeMask, IgnoresNonQueryActivities) {
+  const std::vector<ActivityId> query = {5, 6};
+  EXPECT_EQ(ComputeMask(query, {1, 5, 6, 99}), 0b11u);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry-level wrappers
+// ---------------------------------------------------------------------------
+
+Trajectory MakeTrajectory(
+    std::vector<std::pair<Point, std::vector<ActivityId>>> pts) {
+  std::vector<TrajectoryPoint> points;
+  for (auto& [loc, acts] : pts) points.push_back(TrajectoryPoint{loc, acts});
+  Trajectory tr(std::move(points));
+  tr.NormalizeActivities();
+  return tr;
+}
+
+TEST(MinMatchDistance, SimpleGeometry) {
+  // Two points on the x axis; query at origin demands both activities.
+  const auto tr = MakeTrajectory(
+      {{Point{1.0, 0.0}, {kA}}, {Point{2.0, 0.0}, {kB}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA, kB}}});
+  EXPECT_DOUBLE_EQ(MinMatchDistance(tr, q), 3.0);
+}
+
+TEST(MinMatchDistance, UnmatchedQueryIsInfinite) {
+  const auto tr = MakeTrajectory({{Point{1.0, 0.0}, {kA}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA, kB}}});
+  EXPECT_EQ(MinMatchDistance(tr, q), kInfDist);
+}
+
+TEST(MinMatchDistance, EmptyQueryPointContributesZero) {
+  const auto tr = MakeTrajectory({{Point{5.0, 0.0}, {kA}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {}},
+           QueryPoint{Point{4.0, 0.0}, {kA}}});
+  EXPECT_DOUBLE_EQ(MinMatchDistance(tr, q), 1.0);
+}
+
+TEST(BestMatchDistance, PureSpatialIgnoresActivities) {
+  const auto tr = MakeTrajectory(
+      {{Point{1.0, 0.0}, {}}, {Point{10.0, 0.0}, {kA}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA}}});
+  // Nearest point is the activity-less one at distance 1.
+  EXPECT_DOUBLE_EQ(BestMatchDistance(tr, q), 1.0);
+  // While Dmm must use the activity-bearing point at distance 10.
+  EXPECT_DOUBLE_EQ(MinMatchDistance(tr, q), 10.0);
+}
+
+TEST(BestMatchDistance, EmptyTrajectory) {
+  Trajectory tr;
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA}}});
+  EXPECT_EQ(BestMatchDistance(tr, q), kInfDist);
+}
+
+TEST(CoversQueryActivities, ExactPredicate) {
+  const auto tr = MakeTrajectory(
+      {{Point{0, 0}, {kA, kC}}, {Point{1, 1}, {kB}}});
+  EXPECT_TRUE(CoversQueryActivities(
+      tr, Query({QueryPoint{Point{0, 0}, {kA, kB}}})));
+  EXPECT_TRUE(CoversQueryActivities(
+      tr, Query({QueryPoint{Point{0, 0}, {kA}},
+                 QueryPoint{Point{1, 1}, {kB, kC}}})));
+  EXPECT_FALSE(CoversQueryActivities(
+      tr, Query({QueryPoint{Point{0, 0}, {kA, kD}}})));
+}
+
+TEST(ComputeMinimumMatch, WitnessesPerQueryPoint) {
+  const auto tr = MakeTrajectory({{Point{1.0, 0.0}, {kA}},
+                                  {Point{2.0, 0.0}, {kB}},
+                                  {Point{0.5, 0.0}, {kC}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA, kB}},
+           QueryPoint{Point{0.0, 0.0}, {kC}}});
+  const auto mm = ComputeMinimumMatch(tr, q);
+  EXPECT_DOUBLE_EQ(mm.distance, 3.5);
+  ASSERT_EQ(mm.witnesses.size(), 2u);
+  EXPECT_EQ(mm.witnesses[0], (std::vector<PointIndex>{0, 1}));
+  EXPECT_EQ(mm.witnesses[1], (std::vector<PointIndex>{2}));
+}
+
+TEST(ComputeMinimumMatch, NoMatchClearsWitnesses) {
+  const auto tr = MakeTrajectory({{Point{1.0, 0.0}, {kA}}});
+  Query q({QueryPoint{Point{0.0, 0.0}, {kA}},
+           QueryPoint{Point{0.0, 0.0}, {kF}}});
+  const auto mm = ComputeMinimumMatch(tr, q);
+  EXPECT_EQ(mm.distance, kInfDist);
+  for (const auto& w : mm.witnesses) EXPECT_TRUE(w.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2 property: Dbm <= Dmm on generated data.
+// ---------------------------------------------------------------------------
+
+class LemmaTwoTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaTwoTest, BestMatchLowerBoundsMinimumMatch) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(120, GetParam()));
+  QueryWorkloadParams wp;
+  wp.num_queries = 10;
+  wp.seed = GetParam() * 31 + 7;
+  QueryGenerator qgen(dataset, wp);
+  for (const Query& q : qgen.Workload()) {
+    for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+      const auto& tr = dataset.trajectory(t);
+      const double dmm = MinMatchDistance(tr, q);
+      if (dmm == kInfDist) continue;
+      ASSERT_LE(BestMatchDistance(tr, q), dmm + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaTwoTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace gat

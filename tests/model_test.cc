@@ -1,0 +1,162 @@
+// Tests for the data model: trajectories, dataset finalization (frequency
+// ranking), vocabulary, queries, dataset statistics.
+
+#include <gtest/gtest.h>
+
+#include "gat/model/dataset.h"
+#include "gat/model/dataset_stats.h"
+#include "gat/model/query.h"
+#include "gat/model/trajectory.h"
+
+namespace gat {
+namespace {
+
+Trajectory MakeTrajectory(
+    std::vector<std::pair<Point, std::vector<ActivityId>>> pts) {
+  std::vector<TrajectoryPoint> points;
+  for (auto& [loc, acts] : pts) points.push_back(TrajectoryPoint{loc, acts});
+  return Trajectory(std::move(points));
+}
+
+TEST(TrajectoryPoint, HasActivity) {
+  TrajectoryPoint p{Point{0, 0}, {1, 3, 5}};
+  EXPECT_TRUE(p.HasActivity(3));
+  EXPECT_FALSE(p.HasActivity(2));
+  EXPECT_TRUE(p.HasAnyActivity({2, 5}));
+  EXPECT_FALSE(p.HasAnyActivity({0, 2, 4}));
+  EXPECT_FALSE(p.HasAnyActivity({}));
+}
+
+TEST(Trajectory, NormalizeSortsAndDedups) {
+  auto tr = MakeTrajectory({{Point{0, 0}, {5, 1, 5, 3, 1}}});
+  tr.NormalizeActivities();
+  EXPECT_EQ(tr[0].activities, (std::vector<ActivityId>{1, 3, 5}));
+}
+
+TEST(Trajectory, ActivityUnionAndCount) {
+  auto tr = MakeTrajectory(
+      {{Point{0, 0}, {2, 1}}, {Point{1, 1}, {3, 2}}, {Point{2, 2}, {}}});
+  tr.NormalizeActivities();
+  EXPECT_EQ(tr.ActivityUnion(), (std::vector<ActivityId>{1, 2, 3}));
+  EXPECT_EQ(tr.ActivityCount(), 4u);
+}
+
+TEST(Trajectory, BoundingBox) {
+  auto tr = MakeTrajectory({{Point{1, 5}, {}}, {Point{-2, 3}, {}}});
+  const Rect box = tr.BoundingBox();
+  EXPECT_EQ(box, (Rect{Point{-2, 3}, Point{1, 5}}));
+}
+
+TEST(Dataset, FinalizeRanksActivitiesByFrequency) {
+  Dataset d;
+  // Activity 9 appears 3x, activity 4 appears 2x, activity 1 appears 1x.
+  d.Add(MakeTrajectory({{Point{0, 0}, {9, 4}}, {Point{1, 0}, {9}}}));
+  d.Add(MakeTrajectory({{Point{2, 0}, {9, 4, 1}}}));
+  d.Finalize();
+  // After ranking: 9 -> 0, 4 -> 1, 1 -> 2.
+  const auto& freqs = d.activity_frequencies();
+  ASSERT_EQ(freqs.size(), 3u);
+  EXPECT_EQ(freqs[0], 3u);
+  EXPECT_EQ(freqs[1], 2u);
+  EXPECT_EQ(freqs[2], 1u);
+  // Frequencies are non-increasing by construction.
+  for (size_t i = 1; i < freqs.size(); ++i) EXPECT_LE(freqs[i], freqs[i - 1]);
+  // The remapped IDs appear in the trajectories.
+  EXPECT_EQ(d.trajectory(0)[0].activities, (std::vector<ActivityId>{0, 1}));
+  EXPECT_EQ(d.trajectory(0)[1].activities, (std::vector<ActivityId>{0}));
+  EXPECT_EQ(d.trajectory(1)[0].activities, (std::vector<ActivityId>{0, 1, 2}));
+}
+
+TEST(Dataset, FinalizeIsIdempotent) {
+  Dataset d;
+  d.Add(MakeTrajectory({{Point{0, 0}, {3}}}));
+  d.Finalize();
+  const auto before = d.trajectory(0)[0].activities;
+  d.Finalize();
+  EXPECT_EQ(d.trajectory(0)[0].activities, before);
+}
+
+TEST(Dataset, BoundingBoxCoversAllPoints) {
+  Dataset d;
+  d.Add(MakeTrajectory({{Point{-1, -2}, {0}}, {Point{5, 7}, {0}}}));
+  d.Add(MakeTrajectory({{Point{3, 9}, {0}}}));
+  d.Finalize();
+  EXPECT_EQ(d.bounding_box(), (Rect{Point{-1, -2}, Point{5, 9}}));
+}
+
+TEST(Dataset, VocabularyPermutedWithFrequencies) {
+  Dataset d;
+  auto& vocab = d.mutable_vocabulary();
+  const ActivityId rare = vocab.InternActivity("rare");
+  const ActivityId common = vocab.InternActivity("common");
+  d.Add(MakeTrajectory({{Point{0, 0}, {common, rare}},
+                        {Point{1, 0}, {common}}}));
+  d.Finalize();
+  // "common" should now be ID 0.
+  EXPECT_EQ(d.vocabulary().Lookup("common"), 0u);
+  EXPECT_EQ(d.vocabulary().Lookup("rare"), 1u);
+  EXPECT_EQ(d.vocabulary().Name(0), "common");
+}
+
+TEST(Dataset, SampleSubsets) {
+  Dataset d;
+  for (int i = 0; i < 5; ++i) {
+    d.Add(MakeTrajectory(
+        {{Point{static_cast<double>(i), 0}, {static_cast<ActivityId>(i)}}}));
+  }
+  d.Finalize();
+  const Dataset sub = d.Sample({1, 3});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_TRUE(sub.finalized());
+  EXPECT_EQ(sub.trajectory(0)[0].location.x, 1.0);
+  EXPECT_EQ(sub.trajectory(1)[0].location.x, 3.0);
+}
+
+TEST(ActivityVocabulary, InternIsIdempotent) {
+  ActivityVocabulary v;
+  const ActivityId a = v.InternActivity("sushi");
+  EXPECT_EQ(v.InternActivity("sushi"), a);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.Lookup("missing"), kInvalidId);
+}
+
+TEST(Query, NormalizesActivities) {
+  Query q({QueryPoint{Point{0, 0}, {5, 1, 5}}});
+  EXPECT_EQ(q[0].activities, (std::vector<ActivityId>{1, 5}));
+  q.Add(QueryPoint{Point{1, 1}, {9, 2, 2}});
+  EXPECT_EQ(q[1].activities, (std::vector<ActivityId>{2, 9}));
+}
+
+TEST(Query, ActivityUnion) {
+  Query q({QueryPoint{Point{0, 0}, {1, 2}}, QueryPoint{Point{1, 1}, {2, 3}}});
+  EXPECT_EQ(q.ActivityUnion(), (std::vector<ActivityId>{1, 2, 3}));
+}
+
+TEST(Query, Diameter) {
+  Query q({QueryPoint{Point{0, 0}, {}}, QueryPoint{Point{3, 4}, {}},
+           QueryPoint{Point{1, 1}, {}}});
+  EXPECT_DOUBLE_EQ(q.Diameter(), 5.0);
+  EXPECT_DOUBLE_EQ(Query({QueryPoint{Point{2, 2}, {}}}).Diameter(), 0.0);
+  EXPECT_DOUBLE_EQ(Query{}.Diameter(), 0.0);
+}
+
+TEST(DatasetStats, CollectMatchesManualCounts) {
+  Dataset d;
+  d.Add(MakeTrajectory({{Point{0, 0}, {1, 2}}, {Point{10, 0}, {1}}}));
+  d.Add(MakeTrajectory({{Point{0, 5}, {}}}));
+  d.Finalize();
+  const auto s = DatasetStats::Collect(d);
+  EXPECT_EQ(s.num_trajectories, 2u);
+  EXPECT_EQ(s.num_points, 3u);
+  EXPECT_EQ(s.num_activity_assignments, 3u);
+  EXPECT_EQ(s.num_distinct_activities, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_points_per_trajectory, 1.5);
+  EXPECT_DOUBLE_EQ(s.avg_activities_per_point, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_activities_per_trajectory, 1.5);
+  EXPECT_DOUBLE_EQ(s.extent_width_km, 10.0);
+  EXPECT_DOUBLE_EQ(s.extent_height_km, 5.0);
+  EXPECT_FALSE(s.ToTableRow("T").empty());
+}
+
+}  // namespace
+}  // namespace gat

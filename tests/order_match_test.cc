@@ -1,0 +1,266 @@
+// Tests for the order-sensitive match distance (Algorithm 4), the MIB
+// validation, and the paper's Table III worked example.
+
+#include "gat/core/order_match.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gat/core/match.h"
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+
+namespace gat {
+namespace {
+
+constexpr ActivityId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+
+// Figure 1 / Table III fixture for Tr1, assembled straight from the
+// distance matrices (see match_test.cc for the matrix source).
+OrderMatchInput FigureOneTr1Input() {
+  const std::vector<std::vector<ActivityId>> point_acts = {
+      {kD}, {kA, kC}, {kB}, {kC}, {kD, kE}};
+  const std::vector<std::vector<ActivityId>> query_acts = {
+      {kA, kB}, {kC, kD}, {kE}};
+  const std::vector<std::vector<double>> dist = {{2, 8, 16, 24, 32},
+                                                 {14, 6, 3, 11, 20},
+                                                 {33, 25, 17, 8, 1}};
+  OrderMatchInput input;
+  input.trajectory_length = 5;
+  for (size_t qi = 0; qi < query_acts.size(); ++qi) {
+    std::vector<MatchPoint> mp;
+    for (size_t j = 0; j < point_acts.size(); ++j) {
+      const ActivityMask mask = ComputeMask(query_acts[qi], point_acts[j]);
+      if (mask == 0) continue;
+      mp.push_back(MatchPoint{dist[qi][j], mask,
+                              static_cast<PointIndex>(j)});
+    }
+    input.match_points.push_back(std::move(mp));
+    input.activity_counts.push_back(static_cast<int>(query_acts[qi].size()));
+  }
+  return input;
+}
+
+OrderMatchInput FigureOneTr2Input() {
+  const std::vector<std::vector<ActivityId>> point_acts = {
+      {kA}, {kB, kC}, {kC, kD}, {kE}, {kF}};
+  const std::vector<std::vector<ActivityId>> query_acts = {
+      {kA, kB}, {kC, kD}, {kE}};
+  const std::vector<std::vector<double>> dist = {{6, 8, 17, 26, 31},
+                                                 {14, 13, 4, 13, 20},
+                                                 {32, 28, 16, 7, 3}};
+  OrderMatchInput input;
+  input.trajectory_length = 5;
+  for (size_t qi = 0; qi < query_acts.size(); ++qi) {
+    std::vector<MatchPoint> mp;
+    for (size_t j = 0; j < point_acts.size(); ++j) {
+      const ActivityMask mask = ComputeMask(query_acts[qi], point_acts[j]);
+      if (mask == 0) continue;
+      mp.push_back(MatchPoint{dist[qi][j], mask,
+                              static_cast<PointIndex>(j)});
+    }
+    input.match_points.push_back(std::move(mp));
+    input.activity_counts.push_back(static_cast<int>(query_acts[qi].size()));
+  }
+  return input;
+}
+
+TEST(TableThreeExample, FullMatrixMatchesPaper) {
+  std::vector<std::vector<double>> g;
+  const double dmom = ComputeDmomMatrix(FigureOneTr1Input(), &g);
+  EXPECT_DOUBLE_EQ(dmom, 56.0);
+  ASSERT_EQ(g.size(), 3u);
+  ASSERT_EQ(g[0].size(), 5u);
+  // Table III, row i = 1.
+  EXPECT_EQ(g[0][0], kInfDist);
+  EXPECT_EQ(g[0][1], kInfDist);
+  EXPECT_DOUBLE_EQ(g[0][2], 24.0);
+  EXPECT_DOUBLE_EQ(g[0][3], 24.0);
+  EXPECT_DOUBLE_EQ(g[0][4], 24.0);
+  // Row i = 2.
+  EXPECT_EQ(g[1][0], kInfDist);
+  EXPECT_EQ(g[1][1], kInfDist);
+  EXPECT_EQ(g[1][2], kInfDist);
+  EXPECT_EQ(g[1][3], kInfDist);
+  EXPECT_DOUBLE_EQ(g[1][4], 55.0);
+  // Row i = 3.
+  EXPECT_EQ(g[2][0], kInfDist);
+  EXPECT_EQ(g[2][1], kInfDist);
+  EXPECT_EQ(g[2][2], kInfDist);
+  EXPECT_EQ(g[2][3], kInfDist);
+  EXPECT_DOUBLE_EQ(g[2][4], 56.0);
+}
+
+TEST(TableThreeExample, Tr2OrderSensitiveEqualsOrderFree) {
+  // The paper: "Tr2.MOM(Q) is the same as Tr2.MM(Q)" = 25.
+  EXPECT_DOUBLE_EQ(
+      MinOrderSensitiveMatchDistance(FigureOneTr2Input(), kInfDist), 25.0);
+}
+
+TEST(TableThreeExample, ThresholdPruningReturnsInfinity) {
+  // With a running k-th best below 24, row i=1 already exceeds it.
+  EXPECT_EQ(MinOrderSensitiveMatchDistance(FigureOneTr1Input(), 20.0),
+            kInfDist);
+  // A threshold above the true value must not prune.
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(FigureOneTr1Input(), 60.0),
+                   56.0);
+  // Equal threshold must not prune either (pruning is strict >).
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(FigureOneTr1Input(), 56.0),
+                   56.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 4 monotonicity on the Figure-1 matrix.
+// ---------------------------------------------------------------------------
+
+TEST(LemmaFour, MatrixMonotonicity) {
+  std::vector<std::vector<double>> g;
+  ComputeDmomMatrix(FigureOneTr1Input(), &g);
+  // 1) Non-increasing along each row (larger window can only help).
+  for (const auto& row : g) {
+    for (size_t j = 1; j < row.size(); ++j) ASSERT_GE(row[j - 1], row[j]);
+  }
+  // 2) Non-decreasing down each column (more query points cost more).
+  for (size_t j = 0; j < g[0].size(); ++j) {
+    for (size_t i = 1; i < g.size(); ++i) ASSERT_LE(g[i - 1][j], g[i][j]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry-level wrapper + MIB validation.
+// ---------------------------------------------------------------------------
+
+Trajectory MakeTrajectory(
+    std::vector<std::pair<Point, std::vector<ActivityId>>> pts) {
+  std::vector<TrajectoryPoint> points;
+  for (auto& [loc, acts] : pts) points.push_back(TrajectoryPoint{loc, acts});
+  Trajectory tr(std::move(points));
+  tr.NormalizeActivities();
+  return tr;
+}
+
+TEST(Mib, BoundsComputedOverAnyMatchingPoint) {
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kA}},
+                                  {Point{1, 0}, {kB}},
+                                  {Point{2, 0}, {kA, kC}},
+                                  {Point{3, 0}, {}}});
+  const auto mib = ComputeMib(tr, QueryPoint{Point{0, 0}, {kA}});
+  EXPECT_TRUE(mib.valid);
+  EXPECT_EQ(mib.lb, 0u);
+  EXPECT_EQ(mib.ub, 2u);
+  const auto none = ComputeMib(tr, QueryPoint{Point{0, 0}, {kF}});
+  EXPECT_FALSE(none.valid);
+}
+
+TEST(Mib, ValidationRejectsImpossibleOrder) {
+  // b-points all strictly before a-points: query (a then b) is impossible.
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kB}},
+                                  {Point{1, 0}, {kB}},
+                                  {Point{2, 0}, {kA}}});
+  Query ab({QueryPoint{Point{0, 0}, {kA}}, QueryPoint{Point{1, 0}, {kB}}});
+  EXPECT_FALSE(PassesMibValidation(tr, ab));
+  Query ba({QueryPoint{Point{0, 0}, {kB}}, QueryPoint{Point{1, 0}, {kA}}});
+  EXPECT_TRUE(PassesMibValidation(tr, ba));
+}
+
+TEST(Mib, SharedPointSatisfiesBothQueryPoints) {
+  // Equal indices are allowed ("smaller than or equal", Definition 7).
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kA, kB}}});
+  Query q({QueryPoint{Point{0, 0}, {kA}}, QueryPoint{Point{0, 0}, {kB}}});
+  EXPECT_TRUE(PassesMibValidation(tr, q));
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(tr, q), 0.0);
+}
+
+TEST(Dmom, OrderConstraintForcesWorseMatch) {
+  // a at index 2 (near), b at index 0 (near) — order a->b must use the far
+  // b at index 3.
+  const auto tr = MakeTrajectory({{Point{1, 0}, {kB}},
+                                  {Point{5, 0}, {kA}},
+                                  {Point{9, 0}, {kB}}});
+  Query q({QueryPoint{Point{5, 0}, {kA}}, QueryPoint{Point{1, 0}, {kB}}});
+  EXPECT_DOUBLE_EQ(MinMatchDistance(tr, q), 0.0 + 0.0);
+  // Order-sensitive: b must come at/after a's match (index 1) -> index 2,
+  // at distance 8 from the b query location.
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(tr, q), 8.0);
+}
+
+TEST(Dmom, NoOrderSensitiveMatchDespitePointMatches) {
+  // The case Section VI-B warns about: point matches exist for each query
+  // point but cannot be ordered.
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kB}}, {Point{1, 0}, {kA}}});
+  Query q({QueryPoint{Point{0, 0}, {kA}}, QueryPoint{Point{1, 0}, {kB}}});
+  EXPECT_NE(MinMatchDistance(tr, q), kInfDist);
+  EXPECT_EQ(MinOrderSensitiveMatchDistance(tr, q), kInfDist);
+}
+
+TEST(Dmom, EmptyQueryIsZero) {
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kA}}});
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(tr, Query{}), 0.0);
+}
+
+TEST(Dmom, EmptyTrajectoryIsInfinite) {
+  Trajectory tr;
+  Query q({QueryPoint{Point{0, 0}, {kA}}});
+  EXPECT_EQ(MinOrderSensitiveMatchDistance(tr, q), kInfDist);
+}
+
+TEST(Dmom, EmptyActivityQueryPointActsAsWildcard) {
+  const auto tr = MakeTrajectory({{Point{0, 0}, {kA}}, {Point{1, 0}, {kB}}});
+  Query q({QueryPoint{Point{0, 0}, {kA}},
+           QueryPoint{Point{9, 9}, {}},  // no demands, contributes 0
+           QueryPoint{Point{1, 0}, {kB}}});
+  EXPECT_DOUBLE_EQ(MinOrderSensitiveMatchDistance(tr, q), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3 property: Dmm <= Dmom on generated data, and tightness when the
+// minimum point matches happen to be ordered.
+// ---------------------------------------------------------------------------
+
+class LemmaThreeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaThreeTest, DmmLowerBoundsDmom) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(120, GetParam()));
+  QueryWorkloadParams wp;
+  wp.num_queries = 10;
+  wp.seed = GetParam() * 97 + 13;
+  QueryGenerator qgen(dataset, wp);
+  int finite_moms = 0;
+  for (const Query& q : qgen.Workload()) {
+    for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+      const auto& tr = dataset.trajectory(t);
+      const double dmom = MinOrderSensitiveMatchDistance(tr, q);
+      if (dmom == kInfDist) continue;
+      ++finite_moms;
+      const double dmm = MinMatchDistance(tr, q);
+      ASSERT_LE(dmm, dmom + 1e-9);
+    }
+  }
+  // The workload construction (queries sampled from real trajectories in
+  // order) guarantees at least the source trajectories match.
+  EXPECT_GT(finite_moms, 0);
+}
+
+TEST_P(LemmaThreeTest, MibNeverRejectsOrderSensitiveMatches) {
+  // MIB validation may admit false positives but must not reject any
+  // trajectory with a finite Dmom.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(100, GetParam()));
+  QueryWorkloadParams wp;
+  wp.num_queries = 8;
+  wp.seed = GetParam() + 555;
+  QueryGenerator qgen(dataset, wp);
+  for (const Query& q : qgen.Workload()) {
+    for (TrajectoryId t = 0; t < dataset.size(); ++t) {
+      const auto& tr = dataset.trajectory(t);
+      if (MinOrderSensitiveMatchDistance(tr, q) != kInfDist) {
+        ASSERT_TRUE(PassesMibValidation(tr, q));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaThreeTest, ::testing::Values(4, 5, 6));
+
+}  // namespace
+}  // namespace gat

@@ -1,0 +1,122 @@
+// Tests for dataset persistence (binary + text formats).
+
+#include "gat/model/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/model/dataset_stats.h"
+
+namespace gat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Serialization, BinaryRoundTrip) {
+  const Dataset original = GenerateCity(CityProfile::Testing(80, 21));
+  const std::string path = TempPath("roundtrip.gatd");
+  ASSERT_TRUE(SaveBinary(original, path));
+
+  Dataset loaded;
+  ASSERT_TRUE(LoadBinary(&loaded, path));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (TrajectoryId t = 0; t < original.size(); ++t) {
+    const auto& a = original.trajectory(t);
+    const auto& b = loaded.trajectory(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].location, b[i].location);
+      ASSERT_EQ(a[i].activities, b[i].activities);
+    }
+  }
+  const auto sa = DatasetStats::Collect(original);
+  const auto sb = DatasetStats::Collect(loaded);
+  EXPECT_EQ(sa.num_activity_assignments, sb.num_activity_assignments);
+  EXPECT_EQ(sa.num_distinct_activities, sb.num_distinct_activities);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, BinaryRejectsGarbage) {
+  const std::string path = TempPath("garbage.gatd");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a gat dataset";
+  }
+  Dataset d;
+  EXPECT_FALSE(LoadBinary(&d, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, BinaryMissingFile) {
+  Dataset d;
+  EXPECT_FALSE(LoadBinary(&d, TempPath("does_not_exist.gatd")));
+}
+
+TEST(Serialization, SaveRequiresFinalizedDataset) {
+  Dataset d;
+  EXPECT_FALSE(SaveBinary(d, TempPath("unfinalized.gatd")));
+}
+
+TEST(Serialization, TextFormatRoundTrip) {
+  const std::string path = TempPath("city.gattxt");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "traj alice\n"
+        << "p 1.5 2.5 sushi,jogging\n"
+        << "p 3.0 4.0\n"
+        << "traj bob\n"
+        << "p 0.0 0.0 sushi\n";
+  }
+  Dataset d;
+  ASSERT_TRUE(LoadText(&d, path));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.trajectory(0).size(), 2u);
+  EXPECT_EQ(d.trajectory(1).size(), 1u);
+  // "sushi" occurs twice -> frequency rank 0; "jogging" once -> rank 1.
+  EXPECT_EQ(d.vocabulary().Lookup("sushi"), 0u);
+  EXPECT_EQ(d.vocabulary().Lookup("jogging"), 1u);
+  EXPECT_EQ(d.trajectory(0)[0].activities, (std::vector<ActivityId>{0, 1}));
+  EXPECT_TRUE(d.trajectory(0)[1].activities.empty());
+
+  // Save and reload preserves everything.
+  const std::string path2 = TempPath("city2.gattxt");
+  ASSERT_TRUE(SaveText(d, path2));
+  Dataset d2;
+  ASSERT_TRUE(LoadText(&d2, path2));
+  ASSERT_EQ(d2.size(), d.size());
+  EXPECT_EQ(d2.trajectory(0)[0].activities, d.trajectory(0)[0].activities);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(Serialization, TextRejectsPointBeforeTrajectory) {
+  const std::string path = TempPath("bad.gattxt");
+  {
+    std::ofstream out(path);
+    out << "p 1.0 2.0 x\n";
+  }
+  Dataset d;
+  EXPECT_FALSE(LoadText(&d, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, TextRejectsUnknownTag) {
+  const std::string path = TempPath("bad2.gattxt");
+  {
+    std::ofstream out(path);
+    out << "traj u\nzzz 1 2\n";
+  }
+  Dataset d;
+  EXPECT_FALSE(LoadText(&d, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gat

@@ -1,0 +1,190 @@
+// Tests for util: Rng, ZipfSampler, TopKCollector, string formatting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gat/util/rng.h"
+#include "gat/util/string_util.h"
+#include "gat/util/top_k.h"
+#include "gat/util/zipf.h"
+
+namespace gat {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextU64(17), 17u);
+    EXPECT_LT(rng.NextU32(3), 3u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const double r = rng.NextDouble(-2.0, 5.0);
+    EXPECT_GE(r, -2.0);
+    EXPECT_LT(r, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(6);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(7);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, SampleDistinctProperties) {
+  Rng rng(8);
+  for (int round = 0; round < 50; ++round) {
+    const uint32_t n = 10 + rng.NextU32(90);
+    const uint32_t k = 1 + rng.NextU32(n);
+    auto picks = rng.SampleDistinct(n, k);
+    ASSERT_EQ(picks.size(), k);
+    ASSERT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+    ASSERT_EQ(std::adjacent_find(picks.begin(), picks.end()), picks.end());
+    for (uint32_t p : picks) ASSERT_LT(p, n);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(9);
+  const auto all = rng.SampleDistinct(10, 10);
+  std::vector<uint32_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(all, expect);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 0.8);
+  double sum = 0.0;
+  for (uint32_t r = 0; r < 100; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotonicallyDecreasing) {
+  ZipfSampler z(50, 1.0);
+  for (uint32_t r = 1; r < 50; ++r) EXPECT_LE(z.Pmf(r), z.Pmf(r - 1) + 1e-15);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (uint32_t r = 0; r < 10; ++r) EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfSampler z(20, 0.9);
+  Rng rng(11);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (uint32_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.Pmf(r), 0.01);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TopKCollector, KeepsKSmallest) {
+  TopKCollector c(3);
+  EXPECT_EQ(c.Threshold(), kInfDist);
+  c.Offer(1, 5.0);
+  c.Offer(2, 1.0);
+  EXPECT_EQ(c.Threshold(), kInfDist);  // fewer than k results
+  c.Offer(3, 3.0);
+  EXPECT_DOUBLE_EQ(c.Threshold(), 5.0);
+  c.Offer(4, 2.0);  // evicts 5.0
+  EXPECT_DOUBLE_EQ(c.Threshold(), 3.0);
+  c.Offer(5, 10.0);  // rejected
+  const auto results = c.SortedResults();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].distance, 1.0);
+  EXPECT_DOUBLE_EQ(results[1].distance, 2.0);
+  EXPECT_DOUBLE_EQ(results[2].distance, 3.0);
+}
+
+TEST(TopKCollector, RejectsInfiniteDistances) {
+  TopKCollector c(2);
+  EXPECT_FALSE(c.Offer(1, kInfDist));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(TopKCollector, TieBreaksByTrajectoryId) {
+  TopKCollector c(1);
+  c.Offer(7, 2.0);
+  c.Offer(3, 2.0);  // same distance, smaller id wins
+  const auto results = c.SortedResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].trajectory, 3u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(StringUtil, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(31557), "31,557");
+  EXPECT_EQ(FormatWithCommas(3164124), "3,164,124");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtil, JoinAndPad) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("abcde", 4), "abcde");
+}
+
+}  // namespace
+}  // namespace gat

@@ -1,0 +1,81 @@
+// Tests for the Morton space-filling curve.
+
+#include "gat/geo/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+TEST(ZOrder, KnownValues) {
+  EXPECT_EQ(zorder::Encode(0, 0), 0u);
+  EXPECT_EQ(zorder::Encode(1, 0), 1u);
+  EXPECT_EQ(zorder::Encode(0, 1), 2u);
+  EXPECT_EQ(zorder::Encode(1, 1), 3u);
+  EXPECT_EQ(zorder::Encode(2, 0), 4u);
+  EXPECT_EQ(zorder::Encode(3, 3), 15u);
+}
+
+TEST(ZOrder, SpreadCompactInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = rng.NextU32(1u << 16);
+    EXPECT_EQ(zorder::CompactBits16(zorder::SpreadBits16(v)), v);
+  }
+}
+
+class ZOrderRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZOrderRoundTrip, EncodeDecode) {
+  const uint32_t axis = 1u << GetParam();
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t col = rng.NextU32(axis);
+    const uint32_t row = rng.NextU32(axis);
+    const uint32_t code = zorder::Encode(col, row);
+    EXPECT_LT(static_cast<uint64_t>(code), uint64_t{axis} * axis);
+    EXPECT_EQ(zorder::DecodeCol(code), col);
+    EXPECT_EQ(zorder::DecodeRow(code), row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ZOrderRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 12, 16));
+
+TEST(ZOrder, ParentChildRelation) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t col = rng.NextU32(1u << 8);
+    const uint32_t row = rng.NextU32(1u << 8);
+    const uint32_t code = zorder::Encode(col, row);
+    // Parent cell covers a 2x2 block: its coordinates are halved.
+    EXPECT_EQ(zorder::Parent(code), zorder::Encode(col / 2, row / 2));
+    // All four children map back to the parent.
+    const uint32_t first = zorder::FirstChild(code);
+    for (uint32_t c = first; c < first + 4; ++c) {
+      EXPECT_EQ(zorder::Parent(c), code);
+    }
+  }
+}
+
+TEST(ZOrder, ChildrenCoverParentBlock) {
+  const uint32_t code = zorder::Encode(3, 5);
+  const uint32_t first = zorder::FirstChild(code);
+  // Children occupy columns {6,7} x rows {10,11}.
+  bool seen[2][2] = {};
+  for (uint32_t c = first; c < first + 4; ++c) {
+    const uint32_t col = zorder::DecodeCol(c);
+    const uint32_t row = zorder::DecodeRow(c);
+    ASSERT_GE(col, 6u);
+    ASSERT_LE(col, 7u);
+    ASSERT_GE(row, 10u);
+    ASSERT_LE(row, 11u);
+    seen[col - 6][row - 10] = true;
+  }
+  EXPECT_TRUE(seen[0][0] && seen[0][1] && seen[1][0] && seen[1][1]);
+}
+
+}  // namespace
+}  // namespace gat
