@@ -9,7 +9,8 @@
 namespace gat::bench {
 namespace {
 
-void Run(const CityFixture& city, QueryKind kind) {
+void Run(const CityFixture& city, QueryKind kind, const BenchProtocol& proto,
+         BenchReport& report) {
   QueryGenerator qgen(city.dataset(), DefaultWorkload(/*seed=*/930));
   const auto queries = qgen.Workload();
   std::printf("\n=== lambda ablation: %s on %s ===\n", ToString(kind).c_str(),
@@ -20,24 +21,29 @@ void Run(const CityFixture& city, QueryKind kind) {
     GatSearchParams params;
     params.lambda = lambda;
     const GatSearcher searcher(city.dataset(), city.index(), params);
-    const auto m = RunWorkload(searcher, queries, 9, kind);
+    const auto m = MeasureWorkload(searcher, queries, 9, kind, proto);
     std::printf("%-10u%12.3f%14llu%12llu\n", lambda, m.avg_cost_ms,
                 static_cast<unsigned long long>(m.totals.candidates_retrieved),
                 static_cast<unsigned long long>(m.totals.rounds));
+    char point[128];
+    std::snprintf(point, sizeof(point), "%s/%s/GAT/lambda=%u",
+                  city.name().c_str(), ToString(kind).c_str(), lambda);
+    report.Add(point, m, queries.size());
   }
 }
 
-void Main() {
-  PrintRunBanner("Ablation", "candidate batch size lambda (Algorithm 1)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Ablation", "candidate batch size lambda (Algorithm 1)",
+                 proto);
   const CityFixture la(CityProfile::LosAngeles(ScaleFromEnv()));
-  Run(la, QueryKind::kAtsq);
-  Run(la, QueryKind::kOatsq);
+  Run(la, QueryKind::kAtsq, proto, report);
+  Run(la, QueryKind::kOatsq, proto, report);
 }
 
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "abl_lambda",
+                              gat::bench::Main);
 }

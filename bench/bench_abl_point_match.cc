@@ -27,8 +27,9 @@ std::vector<MatchPoint> RandomCandidates(Rng& rng, int bits, int n) {
   return cp;
 }
 
-void Main() {
-  PrintRunBanner("Ablation", "Algorithm 3 vs exhaustive subset DP (Dmpm)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Ablation", "Algorithm 3 vs exhaustive subset DP (Dmpm)",
+                 proto);
   std::printf("%-8s%-8s%14s%14s%12s%14s\n", "|q.Phi|", "|CP|", "alg3 us/op",
               "exhaust us/op", "speedup", "early-term %");
   Rng rng(4040);
@@ -62,6 +63,14 @@ void Main() {
       std::printf("%-8d%-8d%14.3f%14.3f%12.2fx%13.1f%%\n", bits, n, alg3_us,
                   ex_us, ex_us / alg3_us,
                   100.0 * static_cast<double>(early) / kRounds);
+      char point[128];
+      std::snprintf(point, sizeof(point), "dmpm/alg3/phi=%d/cp=%d", bits, n);
+      report.AddRaw(point, alg3_us * 1e3, /*rsd_pct=*/0.0, /*repeats=*/1,
+                    /*ops=*/kRounds);
+      std::snprintf(point, sizeof(point), "dmpm/exhaustive/phi=%d/cp=%d",
+                    bits, n);
+      report.AddRaw(point, ex_us * 1e3, /*rsd_pct=*/0.0, /*repeats=*/1,
+                    /*ops=*/kRounds);
     }
   }
 }
@@ -69,7 +78,7 @@ void Main() {
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "abl_point_match",
+                              gat::bench::Main);
 }

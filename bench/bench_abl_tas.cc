@@ -4,6 +4,7 @@
 // that the exact APL check absorbs, and end-to-end time. Also includes the
 // TAS-off configuration (every candidate pays an APL disk read).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "harness.h"
@@ -11,8 +12,9 @@
 namespace gat::bench {
 namespace {
 
-void Main() {
-  PrintRunBanner("Ablation", "TAS sketch: pruning power vs interval count M");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Ablation", "TAS sketch: pruning power vs interval count M",
+                 proto);
   const Dataset dataset = GenerateCity(CityProfile::LosAngeles(ScaleFromEnv()));
   auto wp = DefaultWorkload(/*seed=*/920);
   wp.activities_per_point = 4;  // harder activity constraints
@@ -28,7 +30,8 @@ void Main() {
     GatSearchParams params;
     params.use_tas = m > 0;
     const GatSearcher searcher(dataset, index, params);
-    const auto meas = RunWorkload(searcher, queries, 9, QueryKind::kAtsq);
+    const auto meas = MeasureWorkload(searcher, queries, 9, QueryKind::kAtsq,
+                                      proto);
     char label[32];
     if (m == 0) {
       std::snprintf(label, sizeof(label), "TAS off");
@@ -36,10 +39,14 @@ void Main() {
       std::snprintf(label, sizeof(label), "M=%d", m);
     }
     std::printf("%-14s%14zu%12.3f%14llu%16llu%12llu\n", label,
-                m == 0 ? size_t{0} : index.tas().MemoryBytes(), meas.avg_cost_ms,
+                m == 0 ? size_t{0} : index.tas().MemoryBytes(),
+                meas.avg_cost_ms,
                 static_cast<unsigned long long>(meas.totals.tas_pruned),
                 static_cast<unsigned long long>(meas.totals.activity_rejected),
                 static_cast<unsigned long long>(meas.totals.disk_reads));
+    char point[128];
+    std::snprintf(point, sizeof(point), "LA/ATSQ/GAT/tas=%s", label);
+    report.Add(point, meas, queries.size());
   }
   std::printf(
       "\nReading: larger M -> compacter intervals -> more candidates pruned\n"
@@ -50,7 +57,7 @@ void Main() {
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "abl_tas",
+                              gat::bench::Main);
 }

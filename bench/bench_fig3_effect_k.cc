@@ -12,7 +12,8 @@
 namespace gat::bench {
 namespace {
 
-void RunPanel(const CityFixture& city, QueryKind kind) {
+void RunPanel(const CityFixture& city, QueryKind kind,
+              const BenchProtocol& proto, BenchReport& report) {
   char title[128];
   std::snprintf(title, sizeof(title), "Figure 3: %s on %s",
                 ToString(kind).c_str(), city.name().c_str());
@@ -22,27 +23,34 @@ void RunPanel(const CityFixture& city, QueryKind kind) {
   for (const size_t k : {5, 10, 15, 20, 25}) {
     std::vector<double> row;
     for (const Searcher* s : city.searchers()) {
-      row.push_back(RunWorkload(*s, queries, k, kind).avg_cost_ms);
+      const auto m = MeasureWorkload(*s, queries, k, kind, proto);
+      row.push_back(m.avg_cost_ms);
+      char point[128];
+      std::snprintf(point, sizeof(point), "%s/%s/%s/k=%zu",
+                    city.name().c_str(), ToString(kind).c_str(),
+                    s->name().c_str(), k);
+      report.Add(point, m, queries.size());
     }
     PrintPanelRow(std::to_string(k), row);
   }
 }
 
-void Main() {
-  PrintRunBanner("Figure 3", "effect of k (Table-V defaults otherwise)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Figure 3", "effect of k (Table-V defaults otherwise)",
+                 proto);
   const double scale = ScaleFromEnv();
   const CityFixture la(CityProfile::LosAngeles(scale));
   const CityFixture ny(CityProfile::NewYork(scale));
   for (const auto* city : {&la, &ny}) {
-    RunPanel(*city, QueryKind::kAtsq);
-    RunPanel(*city, QueryKind::kOatsq);
+    RunPanel(*city, QueryKind::kAtsq, proto, report);
+    RunPanel(*city, QueryKind::kOatsq, proto, report);
   }
 }
 
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "fig3_effect_k",
+                              gat::bench::Main);
 }

@@ -11,7 +11,8 @@
 namespace gat::bench {
 namespace {
 
-void RunPanel(const CityFixture& city, QueryKind kind) {
+void RunPanel(const CityFixture& city, QueryKind kind,
+              const BenchProtocol& proto, BenchReport& report) {
   char title[128];
   std::snprintf(title, sizeof(title), "Figure 4: %s on %s",
                 ToString(kind).c_str(), city.name().c_str());
@@ -23,27 +24,33 @@ void RunPanel(const CityFixture& city, QueryKind kind) {
     const auto queries = qgen.Workload();
     std::vector<double> row;
     for (const Searcher* s : city.searchers()) {
-      row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+      const auto m = MeasureWorkload(*s, queries, /*k=*/9, kind, proto);
+      row.push_back(m.avg_cost_ms);
+      char point[128];
+      std::snprintf(point, sizeof(point), "%s/%s/%s/Q=%u",
+                    city.name().c_str(), ToString(kind).c_str(),
+                    s->name().c_str(), num_points);
+      report.Add(point, m, queries.size());
     }
     PrintPanelRow(std::to_string(num_points), row);
   }
 }
 
-void Main() {
-  PrintRunBanner("Figure 4", "effect of |Q| (k=9, |q.Phi|=3, d=10km)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Figure 4", "effect of |Q| (k=9, |q.Phi|=3, d=10km)", proto);
   const double scale = ScaleFromEnv();
   const CityFixture la(CityProfile::LosAngeles(scale));
   const CityFixture ny(CityProfile::NewYork(scale));
   for (const auto* city : {&la, &ny}) {
-    RunPanel(*city, QueryKind::kAtsq);
-    RunPanel(*city, QueryKind::kOatsq);
+    RunPanel(*city, QueryKind::kAtsq, proto, report);
+    RunPanel(*city, QueryKind::kOatsq, proto, report);
   }
 }
 
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "fig4_effect_qsize",
+                              gat::bench::Main);
 }

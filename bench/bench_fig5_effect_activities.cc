@@ -12,7 +12,8 @@
 namespace gat::bench {
 namespace {
 
-void RunPanel(const CityFixture& city, QueryKind kind) {
+void RunPanel(const CityFixture& city, QueryKind kind,
+              const BenchProtocol& proto, BenchReport& report) {
   char title[128];
   std::snprintf(title, sizeof(title), "Figure 5: %s on %s",
                 ToString(kind).c_str(), city.name().c_str());
@@ -24,27 +25,33 @@ void RunPanel(const CityFixture& city, QueryKind kind) {
     const auto queries = qgen.Workload();
     std::vector<double> row;
     for (const Searcher* s : city.searchers()) {
-      row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+      const auto m = MeasureWorkload(*s, queries, /*k=*/9, kind, proto);
+      row.push_back(m.avg_cost_ms);
+      char point[128];
+      std::snprintf(point, sizeof(point), "%s/%s/%s/phi=%u",
+                    city.name().c_str(), ToString(kind).c_str(),
+                    s->name().c_str(), acts);
+      report.Add(point, m, queries.size());
     }
     PrintPanelRow(std::to_string(acts), row);
   }
 }
 
-void Main() {
-  PrintRunBanner("Figure 5", "effect of |q.Phi| (k=9, |Q|=4, d=10km)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Figure 5", "effect of |q.Phi| (k=9, |Q|=4, d=10km)", proto);
   const double scale = ScaleFromEnv();
   const CityFixture la(CityProfile::LosAngeles(scale));
   const CityFixture ny(CityProfile::NewYork(scale));
   for (const auto* city : {&la, &ny}) {
-    RunPanel(*city, QueryKind::kAtsq);
-    RunPanel(*city, QueryKind::kOatsq);
+    RunPanel(*city, QueryKind::kAtsq, proto, report);
+    RunPanel(*city, QueryKind::kOatsq, proto, report);
   }
 }
 
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "fig5_effect_activities",
+                              gat::bench::Main);
 }

@@ -13,8 +13,9 @@
 namespace gat::bench {
 namespace {
 
-void Main() {
-  PrintRunBanner("Figure 7", "scalability in |D| (NY subsets, defaults)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Figure 7", "scalability in |D| (NY subsets, defaults)",
+                 proto);
   const double scale = ScaleFromEnv();
   const Dataset full = GenerateCity(CityProfile::NewYork(scale));
 
@@ -48,7 +49,13 @@ void Main() {
       const auto queries = qgen.Workload();
       std::vector<double> row;
       for (const Searcher* s : fixtures[i]->searchers()) {
-        row.push_back(RunWorkload(*s, queries, /*k=*/9, kind).avg_cost_ms);
+        const auto m = MeasureWorkload(*s, queries, /*k=*/9, kind, proto);
+        row.push_back(m.avg_cost_ms);
+        char point[128];
+        std::snprintf(point, sizeof(point), "%s/%s/%s",
+                      fixtures[i]->name().c_str(), ToString(kind).c_str(),
+                      s->name().c_str());
+        report.Add(point, m, queries.size());
       }
       PrintPanelRow(labels[i], row);
     }
@@ -58,7 +65,7 @@ void Main() {
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "fig7_scalability",
+                              gat::bench::Main);
 }

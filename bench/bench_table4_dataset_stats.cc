@@ -11,12 +11,13 @@
 #include <cstdio>
 
 #include "harness.h"
+#include "gat/util/stopwatch.h"
 
 namespace gat::bench {
 namespace {
 
-void Main() {
-  PrintRunBanner("Table IV", "dataset statistics (generated cities)");
+void Main(const BenchProtocol& proto, BenchReport& report) {
+  PrintRunBanner("Table IV", "dataset statistics (generated cities)", proto);
   const double scale = ScaleFromEnv();
 
   std::printf("%-8s | %12s | %12s | %12s | %12s | %8s | %8s\n", "dataset",
@@ -24,9 +25,16 @@ void Main() {
               "act/traj", "act/pt");
   for (const auto& profile :
        {CityProfile::LosAngeles(scale), CityProfile::NewYork(scale)}) {
+    // The only timed operation here is dataset generation; record it so
+    // datagen perf regressions show up in the bench trajectory too.
+    Stopwatch timer;
     const Dataset d = GenerateCity(profile);
+    const double gen_ms = timer.ElapsedMillis();
     const auto stats = DatasetStats::Collect(d);
     std::printf("%s\n", stats.ToTableRow(profile.name).c_str());
+    report.AddRaw("generate/" + profile.name,
+                  gen_ms * 1e6 / static_cast<double>(d.size()),
+                  /*rsd_pct=*/0.0, /*repeats=*/1, /*ops=*/d.size());
   }
 
   std::printf(
@@ -41,7 +49,7 @@ void Main() {
 }  // namespace
 }  // namespace gat::bench
 
-int main() {
-  gat::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return gat::bench::BenchMain(argc, argv, "table4_dataset_stats",
+                              gat::bench::Main);
 }

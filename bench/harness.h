@@ -4,16 +4,33 @@
 // Shared experiment harness for the figure/table benches.
 //
 // Every bench binary reproduces one figure or table of Zheng et al., ICDE
-// 2013, Section VII, printing the same rows/series the paper plots. Scale
-// and query count are tunable via environment variables so the same binary
-// covers quick smoke runs and full-size reproductions:
+// 2013, Section VII, printing the same rows/series the paper plots — and
+// records every measured point into a machine-readable `BENCH_<name>.json`
+// (schema in docs/BENCH_PROTOCOL.md) so runs can be diffed for perf
+// regressions.
+//
+// Measurement protocol (flags, with env fallbacks in parentheses):
+//
+//   --threads N      QueryEngine worker threads       (GAT_BENCH_THREADS, 1)
+//   --warmup W       un-timed warmup batches          (GAT_BENCH_WARMUP, 1)
+//   --target-rsd P   stop repeating when the relative standard deviation
+//                    of the batch timings drops to P% (GAT_BENCH_TARGET_RSD, 5)
+//   --max-repeat M   hard cap on timed batches        (GAT_BENCH_MAX_REPEAT, 5)
+//   --json PATH      output path (default BENCH_<name>.json in the cwd)
+//
+// Scale and query count of the workloads stay tunable via environment
+// variables so the same binary covers quick smoke runs and full-size
+// reproductions:
 //
 //   GAT_BENCH_SCALE    fraction of the Table-IV dataset sizes (default 0.04)
 //   GAT_BENCH_QUERIES  queries per measurement point     (default 15; the
 //                      paper uses 50 — set it for full fidelity)
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +41,7 @@
 #include "gat/core/searcher.h"
 #include "gat/datagen/checkin_generator.h"
 #include "gat/datagen/query_generator.h"
+#include "gat/engine/query_engine.h"
 #include "gat/index/gat_index.h"
 #include "gat/model/dataset_stats.h"
 #include "gat/search/gat_search.h"
@@ -58,6 +76,77 @@ inline double DiskPenaltyMsFromEnv() {
   const double v = std::atof(s);
   return v >= 0.0 ? v : 2.0;
 }
+
+/// The measurement protocol shared by every figure/table bench. See
+/// docs/BENCH_PROTOCOL.md for the full semantics.
+struct BenchProtocol {
+  uint32_t threads = 1;
+  uint32_t warmup = 1;
+  double target_rsd_pct = 5.0;
+  uint32_t max_repeat = 5;
+  std::string json_path;  // empty = BENCH_<name>.json in the cwd
+
+  static BenchProtocol FromArgs(int argc, char** argv) {
+    BenchProtocol p;
+    auto env_u32 = [](const char* name, uint32_t fallback) {
+      const char* s = std::getenv(name);
+      if (s == nullptr) return fallback;
+      const int v = std::atoi(s);
+      return v > 0 ? static_cast<uint32_t>(v) : fallback;
+    };
+    p.threads = env_u32("GAT_BENCH_THREADS", p.threads);
+    p.warmup = env_u32("GAT_BENCH_WARMUP", p.warmup);
+    p.max_repeat = env_u32("GAT_BENCH_MAX_REPEAT", p.max_repeat);
+    if (const char* s = std::getenv("GAT_BENCH_TARGET_RSD")) {
+      const double v = std::atof(s);
+      if (v > 0.0) p.target_rsd_pct = v;
+    }
+    for (int i = 1; i < argc; ++i) {
+      auto value = [&](const char* flag) -> const char* {
+        if (std::strcmp(argv[i], flag) != 0) return nullptr;
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      // Rejects negatives before the unsigned cast can wrap them into
+      // ~4-billion thread pools / repeat counts.
+      auto non_negative = [](const char* flag, const char* v) {
+        const int parsed = std::atoi(v);
+        if (parsed < 0) {
+          std::fprintf(stderr, "invalid value for %s: %s\n", flag, v);
+          std::exit(2);
+        }
+        return static_cast<uint32_t>(parsed);
+      };
+      if (const char* v = value("--threads")) {
+        p.threads = non_negative("--threads", v);
+      } else if (const char* v = value("--warmup")) {
+        p.warmup = non_negative("--warmup", v);
+      } else if (const char* v = value("--target-rsd")) {
+        p.target_rsd_pct = std::atof(v);
+        if (p.target_rsd_pct < 0.0) {
+          std::fprintf(stderr, "invalid value for --target-rsd: %s\n", v);
+          std::exit(2);
+        }
+      } else if (const char* v = value("--max-repeat")) {
+        p.max_repeat = non_negative("--max-repeat", v);
+      } else if (const char* v = value("--json")) {
+        p.json_path = v;
+      } else {
+        std::fprintf(stderr,
+                     "unknown flag %s\nusage: %s [--threads N] [--warmup W] "
+                     "[--target-rsd P] [--max-repeat M] [--json PATH]\n",
+                     argv[i], argv[0]);
+        std::exit(2);
+      }
+    }
+    if (p.threads == 0) p.threads = 1;
+    if (p.max_repeat == 0) p.max_repeat = 1;
+    return p;
+  }
+};
 
 /// The Table-V defaults.
 inline QueryWorkloadParams DefaultWorkload(uint64_t seed) {
@@ -113,34 +202,215 @@ class CityFixture {
 };
 
 struct Measurement {
-  double avg_ms = 0.0;       ///< CPU time per query
-  double avg_cost_ms = 0.0;  ///< CPU + simulated disk time per query
-  SearchStats totals;
+  /// CPU time per query: the mean of the per-query `elapsed_ms` each
+  /// searcher records. Thread-count independent (total CPU work divided
+  /// by #queries), so it stays comparable across --threads settings.
+  double avg_ms = 0.0;
+  /// The paper-comparable "running time": `avg_ms` plus the simulated
+  /// disk latency of every page/record fetch. Also thread-independent.
+  double avg_cost_ms = 0.0;
+  SearchStats totals;        ///< counters of one batch (deterministic)
+  /// Throughput: mean batch wall-clock per query across timed repeats.
+  /// With --threads > 1 this is smaller than avg_ms * 1e6 — it measures
+  /// how fast the engine drains the batch, not per-query CPU.
+  double ns_per_op = 0.0;
+  double rsd_pct = 0.0;      ///< relative stddev of the repeat timings
+  uint32_t repeats = 0;      ///< timed batches actually run
+  uint32_t threads = 1;      ///< QueryEngine workers used
 };
 
-/// Runs a workload through one searcher. `avg_cost_ms` is the
-/// paper-comparable "running time": CPU wall-clock plus the simulated disk
-/// latency of every page/record fetch the method performed.
+/// Runs a workload through one searcher under the measurement protocol:
+/// `warmup` un-timed batches, then timed batches until the relative
+/// standard deviation of the batch wall-clocks reaches `target_rsd_pct`
+/// (or `max_repeat` batches). `avg_cost_ms` is the paper-comparable
+/// "running time": CPU wall-clock plus the simulated disk latency of every
+/// page/record fetch the method performed.
+inline Measurement MeasureWorkload(const Searcher& searcher,
+                                   const std::vector<Query>& queries, size_t k,
+                                   QueryKind kind, const BenchProtocol& proto) {
+  Measurement m;
+  if (queries.empty()) return m;
+  QueryEngine engine(searcher, EngineOptions{.threads = proto.threads});
+  m.threads = engine.threads();
+
+  for (uint32_t w = 0; w < proto.warmup; ++w) {
+    (void)engine.Run(queries, k, kind);
+  }
+
+  auto mean_of = [](const std::vector<double>& xs) {
+    double sum = 0.0;
+    for (double v : xs) sum += v;
+    return sum / static_cast<double>(xs.size());
+  };
+  auto rsd_of = [&](const std::vector<double>& xs) {
+    const double mean = mean_of(xs);
+    if (mean <= 0.0) return 0.0;
+    double var = 0.0;
+    for (double v : xs) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(xs.size());
+    return 100.0 * std::sqrt(var) / mean;
+  };
+
+  std::vector<double> batch_ms;   // wall-clock per batch (throughput)
+  std::vector<double> cpu_ms;     // summed per-query elapsed per batch
+  for (uint32_t r = 0; r < proto.max_repeat; ++r) {
+    BatchResult batch = engine.Run(queries, k, kind);
+    batch_ms.push_back(batch.wall_ms);
+    cpu_ms.push_back(batch.totals.elapsed_ms);
+    // Counters are deterministic across repeats; keep the last batch's.
+    m.totals = batch.totals;
+    if (batch_ms.size() >= 2) {
+      m.rsd_pct = rsd_of(batch_ms);
+      if (m.rsd_pct <= proto.target_rsd_pct) break;
+    }
+  }
+
+  m.repeats = static_cast<uint32_t>(batch_ms.size());
+  m.ns_per_op = mean_of(batch_ms) * 1e6 / static_cast<double>(queries.size());
+  // CPU time from the searchers' own per-query stopwatches: the sum over a
+  // batch is invariant to how the engine spread the queries over threads.
+  m.avg_ms = mean_of(cpu_ms) / static_cast<double>(queries.size());
+  m.avg_cost_ms = m.avg_ms + DiskPenaltyMsFromEnv() *
+                                 static_cast<double>(m.totals.disk_reads) /
+                                 static_cast<double>(queries.size());
+  return m;
+}
+
+/// Backwards-compatible single-shot measurement (no warmup, one batch,
+/// caller's thread only).
 inline Measurement RunWorkload(const Searcher& searcher,
                                const std::vector<Query>& queries, size_t k,
                                QueryKind kind) {
-  Measurement m;
-  for (const Query& q : queries) {
-    SearchStats stats;
-    Stopwatch timer;
-    searcher.Search(q, k, kind, &stats);
-    m.avg_ms += timer.ElapsedMillis();
-    stats.elapsed_ms = 0;  // avoid double counting in the += below
-    m.totals += stats;
+  BenchProtocol single;
+  single.threads = 1;
+  single.warmup = 0;
+  single.max_repeat = 1;
+  return MeasureWorkload(searcher, queries, k, kind, single);
+}
+
+/// Accumulates measured points and writes the `BENCH_<name>.json` payload
+/// documented in docs/BENCH_PROTOCOL.md.
+class BenchReport {
+ public:
+  BenchReport(std::string name, const BenchProtocol& proto)
+      : name_(std::move(name)), proto_(proto) {}
+
+  /// Records one measured point. `ops` is the number of operations behind
+  /// one repeat (usually the workload's query count).
+  void Add(const std::string& point_name, const Measurement& m, size_t ops) {
+    Record rec;
+    rec.name = point_name;
+    rec.ns_per_op = m.ns_per_op;
+    rec.rsd_pct = m.rsd_pct;
+    rec.repeats = m.repeats;
+    rec.ops = ops;
+    rec.candidates_verified = m.totals.candidates_retrieved;
+    rec.tas_pruned = m.totals.tas_pruned;
+    rec.distance_computations = m.totals.distance_computations;
+    rec.disk_reads = m.totals.disk_reads;
+    rec.avg_ms_per_query = m.avg_ms;
+    rec.avg_cost_ms_per_query = m.avg_cost_ms;
+    records_.push_back(std::move(rec));
   }
-  if (!queries.empty()) {
-    m.avg_ms /= static_cast<double>(queries.size());
-    m.avg_cost_ms =
-        m.avg_ms + DiskPenaltyMsFromEnv() *
-                       static_cast<double>(m.totals.disk_reads) /
-                       static_cast<double>(queries.size());
+
+  /// Records a point measured outside QueryEngine (kernel ablations).
+  void AddRaw(const std::string& point_name, double ns_per_op, double rsd_pct,
+              uint32_t repeats, size_t ops) {
+    Record rec;
+    rec.name = point_name;
+    rec.ns_per_op = ns_per_op;
+    rec.rsd_pct = rsd_pct;
+    rec.repeats = repeats;
+    rec.ops = ops;
+    records_.push_back(std::move(rec));
   }
-  return m;
+
+  /// Writes the JSON payload; returns the path written, or an empty
+  /// string when the file could not be created (callers should exit
+  /// non-zero so CI never mistakes a missing artifact for a clean run).
+  /// Call once, at the end of main.
+  std::string Write() const {
+    const std::string path =
+        proto_.json_path.empty() ? "BENCH_" + name_ + ".json"
+                                 : proto_.json_path;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return std::string();
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", Escaped(name_).c_str());
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"unit\": \"ns/op\",\n");
+    std::fprintf(f,
+                 "  \"protocol\": {\"threads\": %u, \"warmup\": %u, "
+                 "\"target_rsd_pct\": %g, \"max_repeat\": %u, "
+                 "\"scale\": %g, \"queries_per_point\": %u, "
+                 "\"disk_penalty_ms\": %g},\n",
+                 proto_.threads, proto_.warmup, proto_.target_rsd_pct,
+                 proto_.max_repeat, ScaleFromEnv(), QueriesFromEnv(),
+                 DiskPenaltyMsFromEnv());
+    std::fprintf(f, "  \"results\": [");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                      "\"rsd_pct\": %.3f, \"repeats\": %u, \"ops\": %zu, "
+                      "\"candidates_verified\": %llu, \"tas_pruned\": %llu, "
+                      "\"distance_computations\": %llu, \"disk_reads\": %llu, "
+                      "\"avg_ms_per_query\": %.6f, "
+                      "\"avg_cost_ms_per_query\": %.6f}",
+                   i == 0 ? "" : ",", Escaped(r.name).c_str(), r.ns_per_op,
+                   r.rsd_pct, r.repeats, r.ops,
+                   static_cast<unsigned long long>(r.candidates_verified),
+                   static_cast<unsigned long long>(r.tas_pruned),
+                   static_cast<unsigned long long>(r.distance_computations),
+                   static_cast<unsigned long long>(r.disk_reads),
+                   r.avg_ms_per_query, r.avg_cost_ms_per_query);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu records)\n", path.c_str(), records_.size());
+    return path;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double ns_per_op = 0.0;
+    double rsd_pct = 0.0;
+    uint32_t repeats = 0;
+    size_t ops = 0;
+    uint64_t candidates_verified = 0;
+    uint64_t tas_pruned = 0;
+    uint64_t distance_computations = 0;
+    uint64_t disk_reads = 0;
+    double avg_ms_per_query = 0.0;
+    double avg_cost_ms_per_query = 0.0;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  BenchProtocol proto_;
+  std::vector<Record> records_;
+};
+
+/// Shared entry point of every protocol bench: parse flags, run the
+/// bench body, write the JSON artifact. Returns the process exit code
+/// (non-zero when the artifact could not be written).
+inline int BenchMain(int argc, char** argv, const char* name,
+                     void (*run)(const BenchProtocol&, BenchReport&)) {
+  const BenchProtocol proto = BenchProtocol::FromArgs(argc, argv);
+  BenchReport report(name, proto);
+  run(proto, report);
+  return report.Write().empty() ? 1 : 0;
 }
 
 /// Paper-style table printing: one row per x-axis value, one column per
@@ -162,12 +432,17 @@ inline void PrintPanelRow(const std::string& x_value,
   std::printf("\n");
 }
 
-inline void PrintRunBanner(const char* figure, const char* what) {
+inline void PrintRunBanner(const char* figure, const char* what,
+                           const BenchProtocol& proto) {
   std::printf("--------------------------------------------------------\n");
   std::printf("%s: %s\n", figure, what);
   std::printf("scale=%.3f of Table-IV sizes, %u queries/point "
               "(GAT_BENCH_SCALE / GAT_BENCH_QUERIES to change)\n",
               ScaleFromEnv(), QueriesFromEnv());
+  std::printf("protocol: threads=%u warmup=%u target-rsd=%.1f%% "
+              "max-repeat=%u\n",
+              proto.threads, proto.warmup, proto.target_rsd_pct,
+              proto.max_repeat);
   std::printf("--------------------------------------------------------\n");
 }
 

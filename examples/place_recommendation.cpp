@@ -3,9 +3,15 @@
 // baseline search strategies of the paper (they must return identical
 // distances — only the work they do differs).
 //
-// Build & run:   ./build/examples/place_recommendation
+// Each method's workload runs through the concurrent QueryEngine
+// (gat/engine): batches fan out over a work-stealing thread pool and the
+// per-thread stats merge into one SearchStats — same results as a serial
+// loop, a fraction of the wall-clock.
+//
+// Build & run:   ./build/examples/place_recommendation [threads]
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "gat/baselines/il_search.h"
@@ -13,15 +19,22 @@
 #include "gat/baselines/rt_search.h"
 #include "gat/datagen/checkin_generator.h"
 #include "gat/datagen/query_generator.h"
+#include "gat/engine/query_engine.h"
 #include "gat/index/gat_index.h"
 #include "gat/search/gat_search.h"
-#include "gat/util/stopwatch.h"
 
 using namespace gat;
 
-int main() {
+int main(int argc, char** argv) {
+  const int requested = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (requested < 1) {
+    std::fprintf(stderr, "usage: %s [threads>=1]\n", argv[0]);
+    return 2;
+  }
+  const uint32_t threads = static_cast<uint32_t>(requested);
   const Dataset city = GenerateCity(CityProfile::LosAngeles(0.05));
-  std::printf("City: %zu trajectories\n", city.size());
+  std::printf("City: %zu trajectories; %u engine threads\n", city.size(),
+              threads);
 
   const GatIndex index(city);
   const GatSearcher gat(city, index);
@@ -38,30 +51,26 @@ int main() {
 
   std::printf("\n%-6s%14s%16s%14s%12s\n", "method", "avg ms/query",
               "candidates", "dist comps", "disk reads");
-  ResultList reference;
+  std::vector<ResultList> reference;
   for (const Searcher* s : searchers) {
-    SearchStats total;
-    double elapsed = 0.0;
-    ResultList last;
-    for (const Query& q : queries) {
-      SearchStats st;
-      Stopwatch timer;
-      last = s->Search(q, 9, QueryKind::kAtsq, &st);
-      elapsed += timer.ElapsedMillis();
-      st.elapsed_ms = 0;
-      total += st;
-    }
+    QueryEngine engine(*s, EngineOptions{.threads = threads});
+    const BatchResult batch = engine.Run(queries, 9, QueryKind::kAtsq);
     if (s == &gat) {
-      reference = last;
-    } else if (!SameDistances(last, reference, 1e-7)) {
-      std::printf("!! %s disagrees with GAT on the last query\n",
-                  s->name().c_str());
+      reference = batch.results;
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (!SameDistances(batch.results[i], reference[i], 1e-7)) {
+          std::printf("!! %s disagrees with GAT on query %zu\n",
+                      s->name().c_str(), i);
+        }
+      }
     }
-    std::printf("%-6s%14.3f%16llu%14llu%12llu\n", s->name().c_str(),
-                elapsed / queries.size(),
-                static_cast<unsigned long long>(total.candidates_retrieved),
-                static_cast<unsigned long long>(total.distance_computations),
-                static_cast<unsigned long long>(total.disk_reads));
+    std::printf(
+        "%-6s%14.3f%16llu%14llu%12llu\n", s->name().c_str(),
+        batch.wall_ms / queries.size(),
+        static_cast<unsigned long long>(batch.totals.candidates_retrieved),
+        static_cast<unsigned long long>(batch.totals.distance_computations),
+        static_cast<unsigned long long>(batch.totals.disk_reads));
   }
 
   std::printf(

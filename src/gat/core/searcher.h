@@ -13,6 +13,16 @@ namespace gat {
 /// GAT, IL, RT and IRT. They differ only in indexing structure and
 /// candidate retrieval; all share the same Dmm / Dmom refinement kernels
 /// (the paper makes the same methodological point).
+///
+/// ## Threading contract
+///
+/// `Search` must be safe to call concurrently from many threads on one
+/// instance: implementations keep all per-query mutable state on the
+/// caller's stack (or in the caller-provided `stats`) and treat the
+/// searcher, its index and its dataset as immutable after construction.
+/// No `mutable` members, no `const_cast` writes, no lazily-built caches
+/// without internal synchronization. `QueryEngine` (gat/engine) depends
+/// on this to share one searcher across its whole thread pool.
 class Searcher {
  public:
   virtual ~Searcher() = default;

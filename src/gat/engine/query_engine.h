@@ -1,0 +1,99 @@
+#ifndef GAT_ENGINE_QUERY_ENGINE_H_
+#define GAT_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gat/core/result_set.h"
+#include "gat/core/searcher.h"
+#include "gat/model/query.h"
+#include "gat/search/search_stats.h"
+
+namespace gat {
+
+/// QueryEngine knobs.
+struct EngineOptions {
+  /// Worker threads in the pool. 0 = std::thread::hardware_concurrency().
+  /// 1 runs batches inline on the caller thread (no pool is created).
+  uint32_t threads = 0;
+};
+
+/// Outcome of one batch: answers in query order plus merged statistics.
+struct BatchResult {
+  /// results[i] answers queries[i] — ordering is deterministic and
+  /// independent of the thread count and of work-stealing interleavings.
+  std::vector<ResultList> results;
+
+  /// Counters summed over all queries (merged from the per-thread slots).
+  SearchStats totals;
+
+  /// Per-worker partial sums, index = worker id. Diagnostic: shows how
+  /// evenly the work-stealing queue spread the batch.
+  std::vector<SearchStats> per_thread;
+
+  /// Wall-clock of the whole batch (not the sum of per-query times).
+  double wall_ms = 0.0;
+
+  /// Workers that executed the batch.
+  uint32_t threads_used = 1;
+};
+
+/// Executes batches of queries over one Searcher on a fixed-size thread
+/// pool. The unified entry point for benches, examples, servers and tests:
+/// single-threaded callers get the plain loop (`threads = 1`), concurrent
+/// callers get work-stealing fan-out with identical results.
+///
+/// ## Threading contract
+///
+/// `Searcher::Search` is a const member on every implementation, and the
+/// GAT/IL/RT/IRT searchers keep all per-query mutation inside a local
+/// `State` object on the query's stack — the searcher, the index and the
+/// dataset are never written after construction. The engine relies on
+/// exactly that contract: N workers share one `const Searcher&` with no
+/// synchronization. Anything reachable from a `Searcher` must stay
+/// logically const during `Search` (no caches mutated through
+/// `const_cast`/`mutable` without internal locking).
+///
+/// Determinism: every query is an independent task; results are written to
+/// a pre-sized slot indexed by query position, and per-thread stats are
+/// accumulated in per-worker slots merged only after the batch barrier —
+/// lock-free by construction since no two workers ever touch the same
+/// slot. Top-k answers are therefore bit-identical across thread counts.
+class QueryEngine {
+ public:
+  /// Non-owning: `searcher` must outlive the engine.
+  explicit QueryEngine(const Searcher& searcher, EngineOptions options = {});
+
+  /// Owning variant for callers that build the searcher ad hoc.
+  explicit QueryEngine(std::unique_ptr<Searcher> searcher,
+                       EngineOptions options = {});
+
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Runs a batch. Blocks until every query is answered. Thread-safe in
+  /// the sense that concurrent calls are serialized on an internal mutex —
+  /// one batch owns the pool at a time.
+  BatchResult Run(const std::vector<Query>& queries, size_t k,
+                  QueryKind kind) const;
+
+  const Searcher& searcher() const { return searcher_; }
+  uint32_t threads() const { return threads_; }
+
+ private:
+  struct Pool;
+
+  std::unique_ptr<Searcher> owned_;  // may be null (non-owning ctor)
+  const Searcher& searcher_;
+  uint32_t threads_;
+  std::unique_ptr<Pool> pool_;   // null when threads_ == 1
+  mutable std::mutex run_mu_;    // serializes concurrent Run() calls
+};
+
+}  // namespace gat
+
+#endif  // GAT_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,97 @@
+#ifndef GAT_ENGINE_WORK_QUEUE_H_
+#define GAT_ENGINE_WORK_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+/// Lock-free work-stealing distribution of the task indices [0, size)
+/// across a fixed number of workers.
+///
+/// Each worker owns one contiguous stripe of the index range with an
+/// atomic cursor. A worker drains its own stripe first (perfect locality,
+/// zero contention in the common case); once empty it steals from the
+/// victim stripe with the most remaining work. All operations are single
+/// `fetch_add`s on the stripe cursors — no locks, no CAS loops — so a
+/// stalled worker can never block the others.
+///
+/// The queue hands out each index exactly once. It is single-use: build
+/// one per batch.
+class WorkStealingQueue {
+ public:
+  WorkStealingQueue(size_t num_tasks, uint32_t num_workers)
+      : num_tasks_(num_tasks), stripes_(num_workers) {
+    GAT_CHECK(num_workers > 0);
+    // Split [0, num_tasks) into num_workers stripes; the first
+    // `num_tasks % num_workers` stripes get one extra task.
+    const size_t base = num_tasks / num_workers;
+    const size_t extra = num_tasks % num_workers;
+    size_t begin = 0;
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      const size_t len = base + (w < extra ? 1 : 0);
+      stripes_[w].cursor.store(begin, std::memory_order_relaxed);
+      stripes_[w].end = begin + len;
+      begin += len;
+    }
+  }
+
+  WorkStealingQueue(const WorkStealingQueue&) = delete;
+  WorkStealingQueue& operator=(const WorkStealingQueue&) = delete;
+
+  /// Pops the next task index for `worker`, preferring its own stripe and
+  /// stealing from the fullest victim otherwise. Returns false when every
+  /// stripe is drained.
+  bool TryPop(uint32_t worker, size_t* index) {
+    if (PopFrom(worker, index)) return true;
+    // Own stripe empty: steal. Re-scan after a failed steal — another
+    // worker may have raced us to the victim's last task while a different
+    // stripe still has work.
+    for (;;) {
+      uint32_t victim = UINT32_MAX;
+      size_t most_remaining = 0;
+      for (uint32_t w = 0; w < stripes_.size(); ++w) {
+        if (w == worker) continue;
+        const size_t cur = stripes_[w].cursor.load(std::memory_order_relaxed);
+        const size_t remaining = cur < stripes_[w].end ? stripes_[w].end - cur : 0;
+        if (remaining > most_remaining) {
+          most_remaining = remaining;
+          victim = w;
+        }
+      }
+      if (victim == UINT32_MAX) return false;  // everything drained
+      if (PopFrom(victim, index)) return true;
+    }
+  }
+
+  size_t size() const { return num_tasks_; }
+  uint32_t workers() const { return static_cast<uint32_t>(stripes_.size()); }
+
+ private:
+  struct alignas(64) Stripe {  // own cache line: cursors are contended
+    std::atomic<size_t> cursor{0};
+    size_t end = 0;
+  };
+
+  bool PopFrom(uint32_t stripe_idx, size_t* index) {
+    Stripe& s = stripes_[stripe_idx];
+    // Claim optimistically; fetch_add past `end` is harmless — the cursor
+    // only ever moves forward and claims beyond `end` are discarded.
+    if (s.cursor.load(std::memory_order_relaxed) >= s.end) return false;
+    const size_t claimed = s.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (claimed >= s.end) return false;
+    *index = claimed;
+    return true;
+  }
+
+  size_t num_tasks_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_ENGINE_WORK_QUEUE_H_

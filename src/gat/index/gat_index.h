@@ -30,6 +30,11 @@ struct GatConfig {
 /// The Grid index for Activity Trajectories (Section IV): the hierarchical
 /// quad grid plus its four components — HICL, ITL, TAS, APL — built in one
 /// pass over a finalized dataset.
+///
+/// Thread-safety: immutable after the constructor returns. Every accessor
+/// (including the component getters and `memory_breakdown()`) is const and
+/// touches only construction-time state, so one index may back any number
+/// of concurrent searcher threads without synchronization.
 class GatIndex {
  public:
   GatIndex(const Dataset& dataset, const GatConfig& config = {});

@@ -36,6 +36,12 @@ struct GatSearchParams {
 /// Top-k ATSQ / OATSQ search over a GAT index: the best-first candidate
 /// retrieval + validation + refinement loop of Algorithm 1, with the
 /// Algorithm-2 tighter lower bound for unseen trajectories.
+///
+/// Thread-safety: `Search`/`Atsq`/`Oatsq` are const and concurrently
+/// callable on one instance. All per-query mutation lives in the private
+/// `State` object constructed on the caller's stack; `dataset_`, `index_`
+/// and `params_` are read-only after construction (see the Searcher
+/// threading contract).
 class GatSearcher : public Searcher {
  public:
   /// Both `dataset` and `index` must outlive the searcher.

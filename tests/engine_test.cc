@@ -1,0 +1,180 @@
+// Tests for gat/engine: the work-stealing queue, multi-thread vs
+// single-thread result equivalence (the QueryEngine determinism contract)
+// and lock-free stats merging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/engine/query_engine.h"
+#include "gat/engine/work_queue.h"
+#include "gat/index/gat_index.h"
+#include "gat/search/gat_search.h"
+
+namespace gat {
+namespace {
+
+// ---------------------------------------------------------------- queue
+
+TEST(WorkStealingQueue, SingleWorkerDrainsInOrder) {
+  WorkStealingQueue q(5, 1);
+  size_t idx = 0;
+  for (size_t expected = 0; expected < 5; ++expected) {
+    ASSERT_TRUE(q.TryPop(0, &idx));
+    EXPECT_EQ(idx, expected);
+  }
+  EXPECT_FALSE(q.TryPop(0, &idx));
+}
+
+TEST(WorkStealingQueue, EveryIndexHandedOutExactlyOnce) {
+  constexpr size_t kTasks = 1000;
+  constexpr uint32_t kWorkers = 7;
+  WorkStealingQueue q(kTasks, kWorkers);
+  std::vector<std::atomic<int>> claimed(kTasks);
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      size_t idx = 0;
+      while (q.TryPop(w, &idx)) {
+        ASSERT_LT(idx, kTasks);
+        claimed[idx].fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(claimed[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkStealingQueue, StealingDrainsUnbalancedLoad) {
+  // More workers than tasks: most stripes start empty, so completion
+  // requires stealing to work.
+  WorkStealingQueue q(3, 8);
+  std::vector<std::atomic<int>> claimed(3);
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      size_t idx = 0;
+      while (q.TryPop(w, &idx)) claimed[idx].fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(claimed[i].load(), 1);
+}
+
+// ---------------------------------------------------------------- engine
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = GenerateCity(CityProfile::Testing(/*trajectories=*/400,
+                                                 /*seed=*/11));
+    index_ = std::make_unique<GatIndex>(dataset_);
+    searcher_ = std::make_unique<GatSearcher>(dataset_, *index_);
+    QueryWorkloadParams wp;
+    wp.num_queries = 40;
+    wp.seed = 99;
+    queries_ = QueryGenerator(dataset_, wp).Workload();
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<GatIndex> index_;
+  std::unique_ptr<GatSearcher> searcher_;
+  std::vector<Query> queries_;
+};
+
+TEST_F(QueryEngineTest, MultiThreadMatchesSingleThreadBitIdentical) {
+  QueryEngine single(*searcher_, EngineOptions{.threads = 1});
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 4});
+  ASSERT_EQ(pooled.threads(), 4u);
+
+  for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+    const BatchResult st = single.Run(queries_, /*k=*/10, kind);
+    const BatchResult mt = pooled.Run(queries_, /*k=*/10, kind);
+    ASSERT_EQ(st.results.size(), queries_.size());
+    ASSERT_EQ(mt.results.size(), queries_.size());
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      // operator== on SearchResult compares trajectory id and the exact
+      // double distance — bit-identical, not approximately equal.
+      EXPECT_EQ(st.results[i], mt.results[i]) << "query " << i;
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, ResultsIdenticalAcrossRepeatedRuns) {
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 4});
+  const BatchResult a = pooled.Run(queries_, /*k=*/5, QueryKind::kAtsq);
+  const BatchResult b = pooled.Run(queries_, /*k=*/5, QueryKind::kAtsq);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i], b.results[i]);
+  }
+}
+
+TEST_F(QueryEngineTest, MergedStatsEqualSequentialSums) {
+  // The per-thread slots must merge to exactly the counters a sequential
+  // loop accumulates: every counter is deterministic per query, and each
+  // query lands in exactly one slot.
+  SearchStats expected;
+  for (const Query& q : queries_) {
+    SearchStats per_query;
+    searcher_->Search(q, /*k=*/10, QueryKind::kAtsq, &per_query);
+    per_query.elapsed_ms = 0.0;  // timing is the one non-deterministic field
+    expected += per_query;
+  }
+
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 4});
+  BatchResult batch = pooled.Run(queries_, /*k=*/10, QueryKind::kAtsq);
+
+  EXPECT_EQ(batch.totals.candidates_retrieved, expected.candidates_retrieved);
+  EXPECT_EQ(batch.totals.tas_pruned, expected.tas_pruned);
+  EXPECT_EQ(batch.totals.activity_rejected, expected.activity_rejected);
+  EXPECT_EQ(batch.totals.mib_rejected, expected.mib_rejected);
+  EXPECT_EQ(batch.totals.distance_computations,
+            expected.distance_computations);
+  EXPECT_EQ(batch.totals.nodes_popped, expected.nodes_popped);
+  EXPECT_EQ(batch.totals.heap_pushes, expected.heap_pushes);
+  EXPECT_EQ(batch.totals.rounds, expected.rounds);
+  EXPECT_EQ(batch.totals.disk_reads, expected.disk_reads);
+
+  // Cross-check the lock-free merge itself: totals == sum of slots.
+  SearchStats resummed;
+  for (const SearchStats& s : batch.per_thread) resummed += s;
+  EXPECT_EQ(batch.totals.candidates_retrieved, resummed.candidates_retrieved);
+  EXPECT_EQ(batch.totals.disk_reads, resummed.disk_reads);
+  EXPECT_EQ(batch.per_thread.size(), 4u);
+}
+
+TEST_F(QueryEngineTest, EmptyBatch) {
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 4});
+  const BatchResult batch = pooled.Run({}, /*k=*/10, QueryKind::kAtsq);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.totals.candidates_retrieved, 0u);
+}
+
+TEST_F(QueryEngineTest, MoreThreadsThanQueries) {
+  const std::vector<Query> two(queries_.begin(), queries_.begin() + 2);
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 8});
+  QueryEngine single(*searcher_, EngineOptions{.threads = 1});
+  const BatchResult mt = pooled.Run(two, /*k=*/10, QueryKind::kAtsq);
+  const BatchResult st = single.Run(two, /*k=*/10, QueryKind::kAtsq);
+  ASSERT_EQ(mt.results.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) EXPECT_EQ(mt.results[i], st.results[i]);
+}
+
+TEST_F(QueryEngineTest, OwningConstructor) {
+  auto owned = std::make_unique<GatSearcher>(dataset_, *index_);
+  QueryEngine engine(std::move(owned), EngineOptions{.threads = 2});
+  const BatchResult batch = engine.Run(queries_, /*k=*/3, QueryKind::kAtsq);
+  EXPECT_EQ(batch.results.size(), queries_.size());
+  EXPECT_EQ(batch.threads_used, 2u);
+}
+
+}  // namespace
+}  // namespace gat
