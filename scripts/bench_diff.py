@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts for regressions.
+
+Implements the comparison rules of docs/BENCH_PROTOCOL.md:
+
+  * Refuses (exit 2) incompatible pairs: different bench name, or
+    different ``protocol.scale`` / ``protocol.queries_per_point`` /
+    ``protocol.disk_penalty_ms`` — those change the workload, so a diff
+    would be meaningless. Cross-thread-count compares are refused too:
+    ``ns_per_op`` is throughput time and only comparable at equal
+    ``protocol.threads``.
+  * Fails (exit 1) when any deterministic work counter
+    (candidates_verified, tas_pruned, distance_computations, disk_reads)
+    drifts: counters are scheduling-independent, so any change is a
+    behavioral change, not noise (``--allow-counter-drift`` downgrades
+    this to a warning for PRs that intentionally change the algorithm).
+  * Fails (exit 1) when ``avg_ms_per_query`` regresses by more than
+    ``--max-regress-pct`` (default 15) on any record present in both
+    files. ``avg_ms_per_query`` is CPU time per query and thread-count
+    independent. ``--skip-timing`` disables this gate (e.g. comparing
+    runs from different machines where only counters are meaningful).
+  * Warns when ``ns_per_op`` regresses beyond the protocol's noise gate
+    (3 x max(rsd_old, rsd_new) percent) — advisory only, since
+    wall-clock throughput is the noisiest signal.
+
+Usage:
+  bench_diff.py BASELINE.json CANDIDATE.json [--max-regress-pct PCT]
+                [--allow-counter-drift] [--skip-timing]
+
+Exit codes: 0 = no regression, 1 = regression/drift, 2 = refused.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTER_FIELDS = (
+    "candidates_verified",
+    "tas_pruned",
+    "distance_computations",
+    "disk_reads",
+)
+# Workload-defining protocol fields: a mismatch makes the diff meaningless.
+PROTOCOL_FIELDS = ("scale", "queries_per_point", "disk_penalty_ms")
+
+
+def refuse(message):
+    print(f"REFUSED: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        refuse(f"cannot read {path}: {err}")
+    for key in ("bench", "protocol", "results"):
+        if key not in payload:
+            refuse(f"{path} lacks required key '{key}'")
+    return payload
+
+
+def check_compatible(old, new):
+    if old["bench"] != new["bench"]:
+        refuse(f"different benches: {old['bench']!r} vs {new['bench']!r}")
+    for field in PROTOCOL_FIELDS:
+        a, b = old["protocol"].get(field), new["protocol"].get(field)
+        if a != b:
+            refuse(f"protocol.{field} differs ({a} vs {b}); the workloads "
+                   "are not the same experiment")
+    ta, tb = old["protocol"].get("threads"), new["protocol"].get("threads")
+    if ta != tb:
+        refuse(f"protocol.threads differs ({ta} vs {tb}); ns_per_op is "
+               "throughput time and only comparable at equal thread counts")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regress-pct", type=float, default=15.0,
+                        help="fail when avg_ms_per_query regresses more than "
+                             "this percent (default: 15)")
+    parser.add_argument("--allow-counter-drift", action="store_true",
+                        help="downgrade counter drift from failure to warning "
+                             "(for intentional algorithm changes)")
+    parser.add_argument("--skip-timing", action="store_true",
+                        help="skip the avg_ms_per_query gate and the "
+                             "ns_per_op advisories (cross-machine compares: "
+                             "counters only)")
+    args = parser.parse_args()
+
+    old = load(args.baseline)
+    new = load(args.candidate)
+    check_compatible(old, new)
+
+    for path, payload in ((args.baseline, old), (args.candidate, new)):
+        names = [r["name"] for r in payload["results"]]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            refuse(f"{path} has duplicate record names ({', '.join(dupes)}); "
+                   "a keyed diff would silently shadow records")
+
+    old_records = {r["name"]: r for r in old["results"]}
+    new_records = {r["name"]: r for r in new["results"]}
+    failures, warnings = [], []
+
+    missing = sorted(set(old_records) - set(new_records))
+    added = sorted(set(new_records) - set(old_records))
+    if missing:
+        failures.append(f"records vanished from candidate: {', '.join(missing)}")
+    if added:
+        warnings.append(f"new records (no baseline): {', '.join(added)}")
+
+    for name in sorted(set(old_records) & set(new_records)):
+        o, n = old_records[name], new_records[name]
+
+        for field in COUNTER_FIELDS:
+            if o.get(field, 0) != n.get(field, 0):
+                message = (f"{name}: {field} {o.get(field, 0)} -> "
+                           f"{n.get(field, 0)} (deterministic counter drift "
+                           "= behavioral change)")
+                (warnings if args.allow_counter_drift else failures).append(
+                    message)
+
+        if not args.skip_timing and o.get("avg_ms_per_query", 0) > 0:
+            pct = 100.0 * (n.get("avg_ms_per_query", 0) /
+                           o["avg_ms_per_query"] - 1.0)
+            if pct > args.max_regress_pct:
+                failures.append(f"{name}: avg_ms_per_query regressed "
+                                f"{pct:+.1f}% ({o['avg_ms_per_query']:.6f} -> "
+                                f"{n['avg_ms_per_query']:.6f} ms)")
+
+        # Wall-clock advisory only when timing is meaningful for this pair
+        # (same machine); --skip-timing declares it is not.
+        if not args.skip_timing and o.get("ns_per_op", 0) > 0:
+            pct = 100.0 * (n.get("ns_per_op", 0) / o["ns_per_op"] - 1.0)
+            noise_gate = 3.0 * max(o.get("rsd_pct", 0.0), n.get("rsd_pct", 0.0))
+            if pct > max(noise_gate, 1e-9):
+                warnings.append(f"{name}: ns_per_op {pct:+.1f}% (noise gate "
+                                f"{noise_gate:.1f}%) — advisory, wall-clock")
+
+    for w in warnings:
+        print(f"WARN: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    shared = len(set(old_records) & set(new_records))
+    print(f"compared {shared} records: "
+          f"{len(failures)} failure(s), {len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#ifndef GAT_ENGINE_PARALLEL_FOR_H_
+#define GAT_ENGINE_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace gat {
+
+/// Runs `fn(i)` for every i in [0, count), fanning out over up to
+/// `threads` std::threads (0 = hardware_concurrency) and blocking until
+/// all iterations return.
+///
+/// This is the build-time counterpart of `QueryEngine`: the engine's pool
+/// is a query-batch primitive (its `Run` is serialized on a mutex and its
+/// workers only execute `Searcher::Search`), so construction-side
+/// fan-outs — parallel shard builds, snapshot loads — use this helper
+/// instead of borrowing an engine. Threads are spawned per call; do not
+/// use it on a per-query hot path.
+///
+/// `fn` must be safe to call concurrently for distinct `i`; iterations
+/// are claimed from an atomic cursor, so the assignment of iterations to
+/// threads is nondeterministic but each runs exactly once.
+inline void ParallelFor(uint32_t threads, size_t count,
+                        const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? hw : 1;
+  }
+  if (threads > count) threads = static_cast<uint32_t>(count);
+  if (threads == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace gat
+
+#endif  // GAT_ENGINE_PARALLEL_FOR_H_

@@ -11,6 +11,8 @@
 
 namespace gat {
 
+struct SnapshotIo;
+
 /// Activity Posting List (Section IV, component iv).
 ///
 /// For every trajectory and every activity it contains, APL lists the point
@@ -41,6 +43,9 @@ class Apl {
   size_t DiskBytes() const { return disk_bytes_; }
 
  private:
+  friend struct SnapshotIo;  // snapshot.cc reads/writes the private state
+  Apl() = default;           // only for snapshot loading
+
   struct TrajectoryPostings {
     std::vector<ActivityId> activities;  // sorted
     std::vector<uint32_t> offsets;       // size + 1

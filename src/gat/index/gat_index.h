@@ -13,6 +13,8 @@
 
 namespace gat {
 
+struct SnapshotIo;
+
 /// Construction parameters of the GAT index (defaults per Section VII-A).
 struct GatConfig {
   /// Grid depth d: the space is split into 2^d x 2^d leaf cells
@@ -25,6 +27,8 @@ struct GatConfig {
 
   /// TAS interval count M.
   int tas_intervals = 2;
+
+  bool operator==(const GatConfig&) const = default;
 };
 
 /// The Grid index for Activity Trajectories (Section IV): the hierarchical
@@ -63,10 +67,18 @@ class GatIndex {
   };
   MemoryBreakdown memory_breakdown() const;
 
-  /// Wall-clock seconds spent building the index.
+  /// Wall-clock seconds spent building the index (or, for an index
+  /// restored by `LoadSnapshot`, loading it).
   double build_seconds() const { return build_seconds_; }
 
  private:
+  friend struct SnapshotIo;  // snapshot.cc restores indexes without a build
+
+  /// Restore shell for snapshot loading: components are filled in by
+  /// `SnapshotIo` afterwards.
+  GatIndex(const GatConfig& config, const GridGeometry& grid)
+      : config_(config), grid_(grid) {}
+
   GatConfig config_;
   GridGeometry grid_;
   std::unique_ptr<Hicl> hicl_;

@@ -26,6 +26,20 @@ GridGeometry::GridGeometry(const Rect& space, int depth)
   cell_height_leaf_ = space_.Height() / axis;
 }
 
+GridGeometry GridGeometry::Restore(const Rect& padded_space, int depth) {
+  GAT_CHECK(depth >= 1 && depth <= 12);
+  GAT_CHECK(padded_space.Width() > 0.0 && padded_space.Height() > 0.0);
+  GridGeometry g;
+  g.space_ = padded_space;
+  g.depth_ = depth;
+  // Same expressions as the constructor, on the identical (already padded)
+  // rect — the cell sizes come out bit-identical.
+  const double axis = static_cast<double>(g.CellsPerAxis(depth));
+  g.cell_width_leaf_ = g.space_.Width() / axis;
+  g.cell_height_leaf_ = g.space_.Height() / axis;
+  return g;
+}
+
 uint32_t GridGeometry::LeafCode(const Point& p) const {
   const uint32_t axis = CellsPerAxis(depth_);
   auto clamp_coord = [axis](double v) {

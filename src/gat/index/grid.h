@@ -23,6 +23,13 @@ class GridGeometry {
   /// padded by a hair so boundary points land inside the last cell.
   GridGeometry(const Rect& space, int depth);
 
+  /// Reconstructs a geometry from an already-padded `space()` rect (the
+  /// snapshot load path). Unlike the constructor this applies no border
+  /// padding, so the restored grid assigns bit-identical leaf codes to the
+  /// saved one. `padded_space` must have positive width and height and
+  /// `depth` must be in 1..12.
+  static GridGeometry Restore(const Rect& padded_space, int depth);
+
   int depth() const { return depth_; }
   const Rect& space() const { return space_; }
 
@@ -48,10 +55,12 @@ class GridGeometry {
   double MinDistToCell(const Point& p, int level, uint32_t code) const;
 
  private:
+  GridGeometry() = default;  // only for Restore()
+
   Rect space_;
-  int depth_;
-  double cell_width_leaf_;
-  double cell_height_leaf_;
+  int depth_ = 0;
+  double cell_width_leaf_ = 0.0;
+  double cell_height_leaf_ = 0.0;
 };
 
 }  // namespace gat

@@ -9,6 +9,8 @@
 
 namespace gat {
 
+struct SnapshotIo;
+
 /// Hierarchical Inverted Cell List (Section IV, component i).
 ///
 /// For every activity alpha and every grid level l, HICL stores the sorted
@@ -65,13 +67,16 @@ class Hicl {
                                    int depth);
 
  private:
+  friend struct SnapshotIo;  // snapshot.cc reads/writes the private state
+  Hicl() = default;          // only for snapshot loading
+
   struct ActivityLists {
     /// cells[l-1] = sorted codes at level l.
     std::vector<std::vector<uint32_t>> cells;
   };
 
-  int depth_;
-  int memory_levels_;
+  int depth_ = 0;
+  int memory_levels_ = 0;
   std::vector<ActivityLists> per_activity_;
   size_t memory_bytes_ = 0;
   size_t disk_bytes_ = 0;

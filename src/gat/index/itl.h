@@ -10,6 +10,8 @@
 
 namespace gat {
 
+struct SnapshotIo;
+
 /// Inverted Trajectory List (Section IV, component ii).
 ///
 /// For each *leaf* cell of the d-Grid and each activity occurring in that
@@ -49,6 +51,9 @@ class Itl {
   size_t MemoryBytes() const { return memory_bytes_; }
 
  private:
+  friend struct SnapshotIo;  // snapshot.cc reads/writes the private state
+  Itl() = default;           // only for snapshot loading
+
   std::unordered_map<uint32_t, CellPostings> cells_;
   size_t memory_bytes_ = 0;
 };

@@ -1,0 +1,510 @@
+#include "gat/index/snapshot.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "gat/index/apl.h"
+#include "gat/index/grid.h"
+#include "gat/index/hicl.h"
+#include "gat/index/itl.h"
+#include "gat/index/tas.h"
+#include "gat/model/binary_io.h"
+#include "gat/util/stopwatch.h"
+
+namespace gat {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'A', 'T', 'S'};
+constexpr uint32_t kVersion = 1;
+// magic + version + payload CRC32.
+constexpr size_t kHeaderBytes = 12;
+
+// Section tags (4 ASCII bytes each) so a reader that goes out of sync
+// fails on the next tag instead of misinterpreting the stream.
+constexpr char kTagGrid[4] = {'G', 'R', 'I', 'D'};
+constexpr char kTagHicl[4] = {'H', 'I', 'C', 'L'};
+constexpr char kTagItl[4] = {'I', 'T', 'L', '_'};
+constexpr char kTagTas[4] = {'T', 'A', 'S', '_'};
+constexpr char kTagApl[4] = {'A', 'P', 'L', '_'};
+constexpr char kTagEnd[4] = {'D', 'O', 'N', 'E'};
+
+/// CRC-32 (IEEE 802.3, table-driven). The header carries the payload
+/// checksum so any bit corruption — not just truncation — fails the load
+/// instead of producing a subtly different index. Table lookup keeps the
+/// verify pass from dominating warm-start time on large snapshots.
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+      uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      t[byte] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+uint32_t Crc32Update(uint32_t crc, const char* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF];
+  }
+  return crc;
+}
+
+uint32_t Crc32(const char* data, size_t size) {
+  return Crc32Update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+/// Streaming CRC of the next `size` bytes of `in` (chunked; no payload
+/// copy). Returns false on a short read.
+bool Crc32Stream(std::istream& in, uint64_t size, uint32_t* out) {
+  char buf[1 << 16];
+  uint32_t crc = 0xFFFFFFFFu;
+  while (size > 0) {
+    const size_t chunk = size < sizeof(buf) ? static_cast<size_t>(size)
+                                            : sizeof(buf);
+    in.read(buf, chunk);
+    if (static_cast<size_t>(in.gcount()) != chunk) return false;
+    crc = Crc32Update(crc, buf, chunk);
+    size -= chunk;
+  }
+  *out = crc ^ 0xFFFFFFFFu;
+  return true;
+}
+
+/// Forwards bytes to `dest` while folding them into a running CRC32, so
+/// the save path checksums without buffering the payload.
+class Crc32OStreambuf : public std::streambuf {
+ public:
+  explicit Crc32OStreambuf(std::streambuf* dest) : dest_(dest) {}
+  uint32_t crc() const { return crc_ ^ 0xFFFFFFFFu; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    const char c = static_cast<char>(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    crc_ = Crc32Update(crc_, s, static_cast<size_t>(n));
+    return dest_->sputn(s, n);
+  }
+
+ private:
+  std::streambuf* dest_;
+  uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+void WriteTag(std::ostream& out, const char (&tag)[4]) {
+  out.write(tag, sizeof(tag));
+}
+
+bool ExpectTag(std::istream& in, const char (&tag)[4]) {
+  char got[4];
+  in.read(got, sizeof(got));
+  return in.good() && std::memcmp(got, tag, sizeof(tag)) == 0;
+}
+
+/// Trivially-copyable element vectors are stored as u64 count + raw bytes.
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  }
+}
+
+/// `max_bytes` (the payload size) caps the element count so a corrupt or
+/// forged-checksum header can neither over-allocate nor loop: any honest
+/// count satisfies count * sizeof(T) <= payload bytes, so the resize is
+/// bounded by the file size and a lying count fails before allocating.
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* v, uint64_t max_bytes) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count > max_bytes / sizeof(T)) return false;
+  v->resize(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(v->data()), count * sizeof(T));
+  }
+  return in.good();
+}
+
+/// Structural check shared by the ITL / APL posting layouts and the TAS
+/// offset table: `offsets` must be [0, ..., payload_size] and
+/// non-decreasing, with one extra entry over `keys`. A snapshot failing
+/// this would hand out-of-range spans to the searchers.
+bool OffsetsValid(const std::vector<uint32_t>& offsets, size_t num_keys,
+                  size_t payload_size) {
+  if (offsets.size() != num_keys + 1) return false;
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<uint32_t>(payload_size)) {
+    return false;
+  }
+  return std::is_sorted(offsets.begin(), offsets.end());
+}
+
+}  // namespace
+
+/// Private-state accessor for snapshot save/load; befriended by GatIndex
+/// and the four index components.
+struct SnapshotIo {
+  static bool SavePayload(const GatIndex& index, std::ostream& out,
+                          uint32_t dataset_fingerprint) {
+    const GatConfig& config = index.config();
+    WritePod(out, static_cast<int32_t>(config.depth));
+    WritePod(out, static_cast<int32_t>(config.memory_levels));
+    WritePod(out, static_cast<int32_t>(config.tas_intervals));
+    WritePod(out, dataset_fingerprint);
+
+    WriteTag(out, kTagGrid);
+    const Rect& space = index.grid().space();  // already padded
+    WritePod(out, space.min.x);
+    WritePod(out, space.min.y);
+    WritePod(out, space.max.x);
+    WritePod(out, space.max.y);
+
+    SaveHicl(index.hicl(), out);
+    SaveItl(index.itl(), out);
+    SaveTas(index.tas(), out);
+    SaveApl(index.apl(), out);
+    WriteTag(out, kTagEnd);
+    return out.good();
+  }
+
+  static std::unique_ptr<GatIndex> LoadPayload(std::istream& in,
+                                               uint64_t payload_size,
+                                               const GatConfig* expected,
+                                               uint32_t expected_fingerprint) {
+    GatConfig config;
+    int32_t depth = 0, memory_levels = 0, tas_intervals = 0;
+    uint32_t fingerprint = 0;
+    if (!ReadPod(in, &depth) || !ReadPod(in, &memory_levels) ||
+        !ReadPod(in, &tas_intervals) || !ReadPod(in, &fingerprint)) {
+      return nullptr;
+    }
+    config.depth = depth;
+    config.memory_levels = memory_levels;
+    config.tas_intervals = tas_intervals;
+    if (expected != nullptr && !(config == *expected)) return nullptr;
+    // Pairing check: both sides must have opted in (non-zero) to bind.
+    if (expected_fingerprint != 0 && fingerprint != 0 &&
+        fingerprint != expected_fingerprint) {
+      return nullptr;
+    }
+    if (config.depth < 1 || config.depth > 12 || config.memory_levels < 0 ||
+        config.memory_levels > config.depth || config.tas_intervals < 1) {
+      return nullptr;
+    }
+
+    if (!ExpectTag(in, kTagGrid)) return nullptr;
+    Rect space;
+    if (!ReadPod(in, &space.min.x) || !ReadPod(in, &space.min.y) ||
+        !ReadPod(in, &space.max.x) || !ReadPod(in, &space.max.y)) {
+      return nullptr;
+    }
+    if (!(space.Width() > 0.0) || !(space.Height() > 0.0)) return nullptr;
+
+    // Private restore ctor; components are filled below.
+    std::unique_ptr<GatIndex> index(
+        new GatIndex(config, GridGeometry::Restore(space, config.depth)));
+    index->hicl_ = LoadHicl(in, payload_size, config);
+    if (index->hicl_ == nullptr) return nullptr;
+    uint64_t itl_rows_required = 0;  // 1 + max trajectory ID the ITL emits
+    index->itl_ = LoadItl(in, payload_size, config, &itl_rows_required);
+    if (index->itl_ == nullptr) return nullptr;
+    index->tas_ = LoadTas(in, payload_size, config);
+    if (index->tas_ == nullptr) return nullptr;
+    index->apl_ = LoadApl(in, payload_size);
+    if (index->apl_ == nullptr) return nullptr;
+    if (!ExpectTag(in, kTagEnd)) return nullptr;
+
+    // Cross-section consistency: every trajectory ID the ITL can emit as
+    // a candidate must have a TAS row and an APL row — otherwise a load
+    // would succeed but the first query would index out of bounds.
+    const uint64_t rows = index->tas_->num_trajectories();
+    if (index->apl_->per_trajectory_.size() != rows) return nullptr;
+    if (itl_rows_required > rows) return nullptr;
+    return index;
+  }
+
+  static void set_build_seconds(GatIndex& index, double seconds) {
+    index.build_seconds_ = seconds;
+  }
+
+ private:
+  // ------------------------------------------------------------------ HICL
+  static void SaveHicl(const Hicl& hicl, std::ostream& out) {
+    WriteTag(out, kTagHicl);
+    WritePod(out, static_cast<uint64_t>(hicl.memory_bytes_));
+    WritePod(out, static_cast<uint64_t>(hicl.disk_bytes_));
+    WritePod(out, static_cast<uint64_t>(hicl.per_activity_.size()));
+    for (const auto& lists : hicl.per_activity_) {
+      for (const auto& level_cells : lists.cells) WriteVec(out, level_cells);
+    }
+  }
+
+  static std::unique_ptr<Hicl> LoadHicl(std::istream& in,
+                                        uint64_t payload_size,
+                                        const GatConfig& config) {
+    if (!ExpectTag(in, kTagHicl)) return nullptr;
+    std::unique_ptr<Hicl> hicl(new Hicl());
+    hicl->depth_ = config.depth;
+    hicl->memory_levels_ = config.memory_levels;
+    uint64_t memory_bytes = 0, disk_bytes = 0, num_activities = 0;
+    if (!ReadPod(in, &memory_bytes) || !ReadPod(in, &disk_bytes) ||
+        !ReadPod(in, &num_activities) || num_activities > payload_size) {
+      return nullptr;
+    }
+    hicl->memory_bytes_ = memory_bytes;
+    hicl->disk_bytes_ = disk_bytes;
+    hicl->per_activity_.resize(num_activities);
+    for (auto& lists : hicl->per_activity_) {
+      lists.cells.resize(config.depth);
+      for (int level = 1; level <= config.depth; ++level) {
+        auto& level_cells = lists.cells[level - 1];
+        if (!ReadVec(in, &level_cells, payload_size)) return nullptr;
+        // Contains() binary-searches these lists; codes must be sorted
+        // and addressable within the 4^level cells of the level.
+        const uint64_t cell_count = uint64_t{1} << (2 * level);
+        if (!std::is_sorted(level_cells.begin(), level_cells.end()) ||
+            (!level_cells.empty() && level_cells.back() >= cell_count)) {
+          return nullptr;
+        }
+      }
+    }
+    return hicl;
+  }
+
+  // ------------------------------------------------------------------- ITL
+  static void SaveItl(const Itl& itl, std::ostream& out) {
+    WriteTag(out, kTagItl);
+    WritePod(out, static_cast<uint64_t>(itl.memory_bytes_));
+    WritePod(out, static_cast<uint64_t>(itl.cells_.size()));
+    // The in-memory map is unordered; write cells sorted by code so the
+    // snapshot bytes are deterministic for a given index.
+    std::vector<uint32_t> codes;
+    codes.reserve(itl.cells_.size());
+    for (const auto& [code, _] : itl.cells_) codes.push_back(code);
+    std::sort(codes.begin(), codes.end());
+    for (uint32_t code : codes) {
+      const Itl::CellPostings& cell = itl.cells_.at(code);
+      WritePod(out, code);
+      WriteVec(out, cell.activities);
+      WriteVec(out, cell.offsets);
+      WriteVec(out, cell.trajectories);
+    }
+  }
+
+  static std::unique_ptr<Itl> LoadItl(std::istream& in, uint64_t payload_size,
+                                      const GatConfig& config,
+                                      uint64_t* rows_required) {
+    if (!ExpectTag(in, kTagItl)) return nullptr;
+    std::unique_ptr<Itl> itl(new Itl());
+    uint64_t memory_bytes = 0, num_cells = 0;
+    if (!ReadPod(in, &memory_bytes) || !ReadPod(in, &num_cells) ||
+        num_cells > payload_size) {
+      return nullptr;
+    }
+    const uint64_t leaf_cell_count = uint64_t{1} << (2 * config.depth);
+    itl->memory_bytes_ = memory_bytes;
+    itl->cells_.reserve(num_cells);
+    *rows_required = 0;
+    for (uint64_t c = 0; c < num_cells; ++c) {
+      uint32_t code = 0;
+      Itl::CellPostings cell;
+      if (!ReadPod(in, &code) || code >= leaf_cell_count ||
+          !ReadVec(in, &cell.activities, payload_size) ||
+          !ReadVec(in, &cell.offsets, payload_size) ||
+          !ReadVec(in, &cell.trajectories, payload_size)) {
+        return nullptr;
+      }
+      if (!OffsetsValid(cell.offsets, cell.activities.size(),
+                        cell.trajectories.size()) ||
+          !std::is_sorted(cell.activities.begin(), cell.activities.end())) {
+        return nullptr;
+      }
+      for (TrajectoryId t : cell.trajectories) {
+        *rows_required = std::max<uint64_t>(*rows_required, uint64_t{t} + 1);
+      }
+      if (!itl->cells_.emplace(code, std::move(cell)).second) return nullptr;
+    }
+    return itl;
+  }
+
+  // ------------------------------------------------------------------- TAS
+  static void SaveTas(const Tas& tas, std::ostream& out) {
+    WriteTag(out, kTagTas);
+    WriteVec(out, tas.intervals_);
+    WriteVec(out, tas.offsets_);
+  }
+
+  static std::unique_ptr<Tas> LoadTas(std::istream& in, uint64_t payload_size,
+                                      const GatConfig& config) {
+    if (!ExpectTag(in, kTagTas)) return nullptr;
+    std::unique_ptr<Tas> tas(new Tas());
+    tas->num_intervals_ = config.tas_intervals;
+    if (!ReadVec(in, &tas->intervals_, payload_size) ||
+        !ReadVec(in, &tas->offsets_, payload_size)) {
+      return nullptr;
+    }
+    if (tas->offsets_.empty() ||
+        !OffsetsValid(tas->offsets_, tas->offsets_.size() - 1,
+                      tas->intervals_.size())) {
+      return nullptr;
+    }
+    return tas;
+  }
+
+  // ------------------------------------------------------------------- APL
+  static void SaveApl(const Apl& apl, std::ostream& out) {
+    WriteTag(out, kTagApl);
+    WritePod(out, static_cast<uint64_t>(apl.disk_bytes_));
+    WritePod(out, static_cast<uint64_t>(apl.per_trajectory_.size()));
+    for (const auto& tp : apl.per_trajectory_) {
+      WriteVec(out, tp.activities);
+      WriteVec(out, tp.offsets);
+      WriteVec(out, tp.points);
+    }
+  }
+
+  static std::unique_ptr<Apl> LoadApl(std::istream& in,
+                                      uint64_t payload_size) {
+    if (!ExpectTag(in, kTagApl)) return nullptr;
+    std::unique_ptr<Apl> apl(new Apl());
+    uint64_t disk_bytes = 0, num_trajectories = 0;
+    if (!ReadPod(in, &disk_bytes) || !ReadPod(in, &num_trajectories) ||
+        num_trajectories > payload_size) {
+      return nullptr;
+    }
+    apl->disk_bytes_ = disk_bytes;
+    apl->per_trajectory_.resize(num_trajectories);
+    for (auto& tp : apl->per_trajectory_) {
+      if (!ReadVec(in, &tp.activities, payload_size) ||
+          !ReadVec(in, &tp.offsets, payload_size) ||
+          !ReadVec(in, &tp.points, payload_size)) {
+        return nullptr;
+      }
+      if (!OffsetsValid(tp.offsets, tp.activities.size(), tp.points.size()) ||
+          !std::is_sorted(tp.activities.begin(), tp.activities.end())) {
+        return nullptr;
+      }
+    }
+    return apl;
+  }
+};
+
+uint32_t DatasetFingerprint(const Dataset& dataset) {
+  uint32_t crc = 0xFFFFFFFFu;
+  auto add = [&crc](const void* p, size_t n) {
+    crc = Crc32Update(crc, static_cast<const char*>(p), n);
+  };
+  const uint64_t n = dataset.size();
+  add(&n, sizeof(n));
+  for (const auto& tr : dataset.trajectories()) {
+    const uint32_t points = static_cast<uint32_t>(tr.size());
+    add(&points, sizeof(points));
+    for (const auto& p : tr.points()) {
+      add(&p.location.x, sizeof(p.location.x));
+      add(&p.location.y, sizeof(p.location.y));
+      const uint32_t acts = static_cast<uint32_t>(p.activities.size());
+      add(&acts, sizeof(acts));
+      if (acts > 0) add(p.activities.data(), acts * sizeof(ActivityId));
+    }
+  }
+  crc ^= 0xFFFFFFFFu;
+  return crc == 0 ? 1u : crc;  // reserve 0 for "not checked"
+}
+
+bool SaveSnapshot(const GatIndex& index, const std::string& path,
+                  uint32_t dataset_fingerprint) {
+  // Write-to-temp + rename: a crash mid-save or two processes priming the
+  // same cache never leave a half-written file at `path` (the rename is
+  // atomic on POSIX; losers of a race overwrite with an equivalent file).
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, sizeof(kMagic));
+    WritePod(out, kVersion);
+    WritePod(out, uint32_t{0});  // CRC placeholder, patched below
+
+    // Stream the payload straight to disk through the checksumming
+    // buffer — no in-memory copy of the serialized index.
+    Crc32OStreambuf crc_buf(out.rdbuf());
+    std::ostream payload(&crc_buf);
+    if (!SnapshotIo::SavePayload(index, payload, dataset_fingerprint) ||
+        !payload.good() || !out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+    out.seekp(8, std::ios::beg);
+    WritePod(out, crc_buf.crc());
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<GatIndex> LoadSnapshot(const std::string& path,
+                                       const GatConfig* expected,
+                                       uint32_t expected_fingerprint) {
+  Stopwatch timer;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0 || static_cast<uint64_t>(end) < kHeaderBytes) return nullptr;
+  const uint64_t payload_size = static_cast<uint64_t>(end) - kHeaderBytes;
+  in.seekg(0, std::ios::beg);
+
+  char magic[4];
+  uint32_t version = 0, crc = 0;
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return nullptr;
+  }
+  if (!ReadPod(in, &version) || version != kVersion) return nullptr;
+  if (!ReadPod(in, &crc)) return nullptr;
+
+  // Two passes over the payload, zero copies of it: checksum first (a
+  // forged stream never reaches the parser), then rewind and parse
+  // straight from the file stream.
+  uint32_t actual_crc = 0;
+  if (!Crc32Stream(in, payload_size, &actual_crc) || actual_crc != crc) {
+    return nullptr;
+  }
+  in.clear();
+  in.seekg(kHeaderBytes, std::ios::beg);
+  auto index = SnapshotIo::LoadPayload(in, payload_size, expected,
+                                       expected_fingerprint);
+  if (index != nullptr) {
+    SnapshotIo::set_build_seconds(*index, timer.ElapsedMillis() / 1000.0);
+  }
+  return index;
+}
+
+}  // namespace gat

@@ -9,6 +9,8 @@
 
 namespace gat {
 
+struct SnapshotIo;
+
 /// Trajectory Activity Sketch (Section IV, component iii).
 ///
 /// A per-trajectory summary of the activities it contains: the trajectory's
@@ -53,7 +55,10 @@ class Tas {
       const std::vector<ActivityId>& sorted_ids, int num_intervals);
 
  private:
-  int num_intervals_;
+  friend struct SnapshotIo;  // snapshot.cc reads/writes the private state
+  Tas() = default;           // only for snapshot loading
+
+  int num_intervals_ = 1;
   std::vector<Interval> intervals_;  // concatenated per trajectory
   std::vector<uint32_t> offsets_;    // size N+1
 };

@@ -95,4 +95,22 @@ Dataset Dataset::Sample(const std::vector<TrajectoryId>& ids) const {
   return out;
 }
 
+std::vector<Dataset> Dataset::PartitionRoundRobin(uint32_t num_shards) const {
+  GAT_CHECK(finalized_);
+  GAT_CHECK(num_shards >= 1);
+  std::vector<Dataset> shards(num_shards);
+  for (auto& shard : shards) {
+    shard.vocabulary_ = vocabulary_;
+    shard.bounding_box_ = bounding_box_;
+    shard.activity_frequencies_ = activity_frequencies_;
+  }
+  for (TrajectoryId t = 0; t < trajectories_.size(); ++t) {
+    shards[t % num_shards].trajectories_.push_back(trajectories_[t]);  // copy
+  }
+  // Trajectories are already normalized and activity IDs already ranked;
+  // running Finalize() would re-rank per shard, so freeze directly.
+  for (auto& shard : shards) shard.finalized_ = true;
+  return shards;
+}
+
 }  // namespace gat

@@ -69,6 +69,20 @@ class Dataset {
   /// with the source and is finalized (IDs re-ranked for the subset).
   Dataset Sample(const std::vector<TrajectoryId>& ids) const;
 
+  /// Splits the dataset into `num_shards` finalized datasets by
+  /// round-robin over trajectory IDs: global ID g lands in shard
+  /// g % num_shards at local ID g / num_shards — a stable mapping that
+  /// `ShardedIndex` inverts (global = local * num_shards + shard).
+  ///
+  /// Unlike `Sample`, partitioning preserves the parent's frame of
+  /// reference: activity IDs are NOT re-ranked (every shard keeps the
+  /// global frequency-ranked ID space, so queries need no per-shard
+  /// translation), the vocabulary is copied, and every shard inherits the
+  /// parent's bounding box (per-shard grids are geometrically identical).
+  /// `activity_frequencies()` of a shard is the parent's global table —
+  /// shard-local recounts would re-introduce a per-shard ID semantics.
+  std::vector<Dataset> PartitionRoundRobin(uint32_t num_shards) const;
+
  private:
   std::vector<Trajectory> trajectories_;
   ActivityVocabulary vocabulary_;

@@ -6,22 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "gat/model/binary_io.h"
+
 namespace gat {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'A', 'T', 'D'};
 constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
-}
 
 }  // namespace
 

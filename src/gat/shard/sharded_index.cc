@@ -1,0 +1,101 @@
+#include "gat/shard/sharded_index.h"
+
+#include <atomic>
+#include <filesystem>
+
+#include "gat/common/check.h"
+#include "gat/engine/parallel_for.h"
+#include "gat/index/snapshot.h"
+#include "gat/util/stopwatch.h"
+
+namespace gat {
+
+ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
+                           const ShardOptions& options)
+    : num_shards_(options.num_shards), config_(config) {
+  GAT_CHECK(num_shards_ >= 1);
+  Stopwatch timer;
+
+  shard_datasets_ = dataset.PartitionRoundRobin(num_shards_);
+  shard_indexes_.resize(num_shards_);
+
+  const bool use_snapshots = !options.snapshot_dir.empty();
+  if (use_snapshots) {
+    std::error_code ec;  // best effort; a failed mkdir surfaces as a build
+    std::filesystem::create_directories(options.snapshot_dir, ec);
+  }
+
+  std::atomic<uint32_t> loaded{0};
+  ParallelFor(options.build_threads, num_shards_, [&](size_t shard) {
+    const Dataset& shard_dataset = shard_datasets_[shard];
+    // Binds each snapshot to this exact dataset cut: a stale file — even
+    // of a same-sized dataset — fails the load and triggers a rebuild.
+    // Only worth the dataset pass when a cache is in play.
+    const uint32_t fingerprint =
+        use_snapshots ? DatasetFingerprint(shard_dataset) : 0;
+    if (use_snapshots) {
+      const std::string path = SnapshotPath(
+          options.snapshot_dir, static_cast<uint32_t>(shard), num_shards_);
+      auto index = LoadSnapshot(path, &config_, fingerprint);
+      if (index != nullptr) {
+        shard_indexes_[shard] = std::move(index);
+        loaded.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    shard_indexes_[shard] = std::make_unique<GatIndex>(shard_dataset, config_);
+    if (use_snapshots) {
+      const std::string path = SnapshotPath(
+          options.snapshot_dir, static_cast<uint32_t>(shard), num_shards_);
+      (void)SaveSnapshot(*shard_indexes_[shard], path,
+                         fingerprint);  // cache priming
+    }
+  });
+
+  loaded_from_snapshot_ = loaded.load();
+  build_seconds_ = timer.ElapsedMillis() / 1000.0;
+}
+
+const Dataset& ShardedIndex::shard_dataset(uint32_t shard) const {
+  GAT_CHECK(shard < num_shards_);
+  return shard_datasets_[shard];
+}
+
+const GatIndex& ShardedIndex::shard_index(uint32_t shard) const {
+  GAT_CHECK(shard < num_shards_);
+  return *shard_indexes_[shard];
+}
+
+bool ShardedIndex::SaveSnapshots(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  bool ok = true;
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    ok = SaveSnapshot(*shard_indexes_[shard],
+                      SnapshotPath(dir, shard, num_shards_),
+                      DatasetFingerprint(shard_datasets_[shard])) &&
+         ok;
+  }
+  return ok;
+}
+
+std::string ShardedIndex::SnapshotPath(const std::string& dir, uint32_t shard,
+                                       uint32_t num_shards) {
+  return dir + "/shard-" + std::to_string(shard) + "-of-" +
+         std::to_string(num_shards) + ".gats";
+}
+
+GatIndex::MemoryBreakdown ShardedIndex::memory_breakdown() const {
+  GatIndex::MemoryBreakdown total;
+  for (const auto& index : shard_indexes_) {
+    const auto b = index->memory_breakdown();
+    total.hicl_memory += b.hicl_memory;
+    total.hicl_disk += b.hicl_disk;
+    total.itl_memory += b.itl_memory;
+    total.tas_memory += b.tas_memory;
+    total.apl_disk += b.apl_disk;
+  }
+  return total;
+}
+
+}  // namespace gat

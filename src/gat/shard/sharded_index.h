@@ -1,0 +1,94 @@
+#ifndef GAT_SHARD_SHARDED_INDEX_H_
+#define GAT_SHARD_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gat/index/gat_index.h"
+#include "gat/model/dataset.h"
+
+namespace gat {
+
+/// Construction knobs of a ShardedIndex.
+struct ShardOptions {
+  /// Number of partitions. 1 degenerates to a single GatIndex behind the
+  /// sharded interface.
+  uint32_t num_shards = 1;
+
+  /// Threads used to build / snapshot-load the shards in parallel.
+  /// 0 = hardware_concurrency.
+  uint32_t build_threads = 0;
+
+  /// When non-empty, the construction first tries to load each shard's
+  /// index from `<snapshot_dir>/shard-<i>-of-<N>.gats`; shards whose
+  /// snapshot is missing, stale (dataset fingerprint mismatch) or built
+  /// under a different GatConfig are rebuilt from the dataset and their
+  /// snapshot rewritten — the directory is a self-priming cache.
+  std::string snapshot_dir;
+};
+
+/// Horizontal partitioning of one dataset into N independent GAT indexes
+/// (the ROADMAP's sharding direction; the paper's index, Section IV, is
+/// built per shard unchanged).
+///
+/// Trajectories are assigned round-robin by global ID — stable, so shard
+/// s of N always holds the same trajectories for a given dataset — and
+/// every shard keeps the parent's activity-ID space and bounding box
+/// (`Dataset::PartitionRoundRobin`), which is what makes per-shard
+/// results mergeable without translation. Local shard IDs map back via
+/// `GlobalId(shard, local) = local * N + shard`.
+///
+/// Thread-safety: immutable after the constructor returns, like GatIndex.
+class ShardedIndex {
+ public:
+  /// Partitions `dataset` and builds (or snapshot-loads) all shard
+  /// indexes, in parallel when `options.build_threads != 1`. `dataset`
+  /// itself is copied into the shards and need not outlive the index.
+  explicit ShardedIndex(const Dataset& dataset, const GatConfig& config = {},
+                        const ShardOptions& options = {});
+
+  uint32_t num_shards() const { return num_shards_; }
+  const GatConfig& config() const { return config_; }
+
+  const Dataset& shard_dataset(uint32_t shard) const;
+  const GatIndex& shard_index(uint32_t shard) const;
+
+  /// Inverse of the round-robin partition: the parent-dataset ID of local
+  /// trajectory `local` in `shard`.
+  TrajectoryId GlobalId(uint32_t shard, TrajectoryId local) const {
+    return local * num_shards_ + shard;
+  }
+
+  /// Writes every shard's snapshot into `dir` (created if missing).
+  /// Returns false if any shard fails to save.
+  bool SaveSnapshots(const std::string& dir) const;
+
+  /// `<dir>/shard-<shard>-of-<num_shards>.gats`.
+  static std::string SnapshotPath(const std::string& dir, uint32_t shard,
+                                  uint32_t num_shards);
+
+  /// How many shards were restored from snapshots (vs built) — 0 on a
+  /// cold start, `num_shards()` on a fully warm one.
+  uint32_t shards_loaded_from_snapshot() const { return loaded_from_snapshot_; }
+
+  /// Wall-clock seconds of the whole construction (partition + parallel
+  /// build/load).
+  double build_seconds() const { return build_seconds_; }
+
+  /// Sum of the per-shard memory breakdowns.
+  GatIndex::MemoryBreakdown memory_breakdown() const;
+
+ private:
+  uint32_t num_shards_;
+  GatConfig config_;
+  std::vector<Dataset> shard_datasets_;
+  std::vector<std::unique_ptr<GatIndex>> shard_indexes_;
+  uint32_t loaded_from_snapshot_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_SHARD_SHARDED_INDEX_H_

@@ -1,0 +1,35 @@
+#include "gat/shard/sharded_searcher.h"
+
+#include "gat/util/top_k.h"
+
+namespace gat {
+
+ShardedSearcher::ShardedSearcher(const ShardedIndex& index,
+                                 const GatSearchParams& params)
+    : index_(index) {
+  shard_searchers_.reserve(index.num_shards());
+  for (uint32_t shard = 0; shard < index.num_shards(); ++shard) {
+    shard_searchers_.push_back(std::make_unique<GatSearcher>(
+        index.shard_dataset(shard), index.shard_index(shard), params));
+  }
+}
+
+ResultList ShardedSearcher::Search(const Query& query, size_t k,
+                                   QueryKind kind, SearchStats* stats) const {
+  // Per-query stats, like every other Searcher: reset, then accumulate
+  // the shard sweeps of *this* query.
+  if (stats != nullptr) stats->Reset();
+  TopKCollector merged(k);
+  for (uint32_t shard = 0; shard < index_.num_shards(); ++shard) {
+    SearchStats shard_stats;
+    const ResultList shard_results = shard_searchers_[shard]->Search(
+        query, k, kind, stats != nullptr ? &shard_stats : nullptr);
+    if (stats != nullptr) *stats += shard_stats;
+    for (const SearchResult& r : shard_results) {
+      merged.Offer(index_.GlobalId(shard, r.trajectory), r.distance);
+    }
+  }
+  return ToResultList(merged);
+}
+
+}  // namespace gat

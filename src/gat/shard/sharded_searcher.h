@@ -1,0 +1,50 @@
+#ifndef GAT_SHARD_SHARDED_SEARCHER_H_
+#define GAT_SHARD_SHARDED_SEARCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gat/core/searcher.h"
+#include "gat/search/gat_search.h"
+#include "gat/shard/sharded_index.h"
+
+namespace gat {
+
+/// Top-k search over a ShardedIndex: fans each query out across every
+/// shard's GatSearcher and merges the per-shard top-k heaps into one
+/// global top-k.
+///
+/// The merge is exact and deterministic: each shard returns its true
+/// top-k by (distance, local ID); local IDs are mapped to global IDs and
+/// re-offered to a fresh `TopKCollector`, whose (distance, global ID)
+/// tie-breaking is the same rule every single-index searcher uses. Since
+/// distances depend only on (query, trajectory) — never on which shard a
+/// trajectory landed in — the merged result is bit-identical to running
+/// one GatSearcher over the unpartitioned dataset.
+///
+/// Thread-safety: implements the Searcher contract (const Search, all
+/// per-query state on the caller's stack), so one instance can back a
+/// whole QueryEngine pool. Shards are visited sequentially within one
+/// `Search` call; parallelism comes from batching queries through the
+/// engine, not from per-query thread fan-out (see docs/KNOWN_ISSUES.md).
+class ShardedSearcher : public Searcher {
+ public:
+  /// `index` must outlive the searcher.
+  explicit ShardedSearcher(const ShardedIndex& index,
+                           const GatSearchParams& params = {});
+
+  ResultList Search(const Query& query, size_t k, QueryKind kind,
+                    SearchStats* stats = nullptr) const override;
+  std::string name() const override { return "GAT-sharded"; }
+
+  const ShardedIndex& index() const { return index_; }
+
+ private:
+  const ShardedIndex& index_;
+  std::vector<std::unique_ptr<GatSearcher>> shard_searchers_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_SHARD_SHARDED_SEARCHER_H_

@@ -58,6 +58,48 @@ TEST(Serialization, BinaryMissingFile) {
   EXPECT_FALSE(LoadBinary(&d, TempPath("does_not_exist.gatd")));
 }
 
+TEST(Serialization, BinaryVersionMismatch) {
+  const Dataset original = GenerateCity(CityProfile::Testing(20, 3));
+  const std::string path = TempPath("future_version.gatd");
+  ASSERT_TRUE(SaveBinary(original, path));
+  {
+    // The version field sits right after the 4-byte magic.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    const uint32_t future_version = 99;
+    f.write(reinterpret_cast<const char*>(&future_version),
+            sizeof(future_version));
+  }
+  Dataset d;
+  EXPECT_FALSE(LoadBinary(&d, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, BinaryTruncatedFile) {
+  const Dataset original = GenerateCity(CityProfile::Testing(30, 4));
+  const std::string path = TempPath("whole.gatd");
+  ASSERT_TRUE(SaveBinary(original, path));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  const std::string cut_path = TempPath("cut.gatd");
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    const size_t keep = static_cast<size_t>(bytes.size() * fraction);
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), keep);
+    }
+    Dataset d;
+    EXPECT_FALSE(LoadBinary(&d, cut_path)) << "kept " << keep << " bytes";
+  }
+  std::remove(cut_path.c_str());
+  std::remove(path.c_str());
+}
+
 TEST(Serialization, SaveRequiresFinalizedDataset) {
   Dataset d;
   EXPECT_FALSE(SaveBinary(d, TempPath("unfinalized.gatd")));

@@ -1,0 +1,235 @@
+// Tests for GAT index snapshots: save -> load must preserve search
+// behavior bit-identically, and every malformed-file path must fail
+// cleanly (nullptr, no crash, no exception).
+
+#include "gat/index/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/search/gat_search.h"
+
+namespace gat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Query> TestQueries(const Dataset& dataset, uint64_t seed) {
+  QueryWorkloadParams wp;
+  wp.num_queries = 10;
+  wp.seed = seed;
+  QueryGenerator qgen(dataset, wp);
+  return qgen.Workload();
+}
+
+long FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<long>(in.tellg()) : -1;
+}
+
+void TruncateTo(const std::string& src, const std::string& dst, long bytes) {
+  std::ifstream in(src, std::ios::binary);
+  std::vector<char> buf(bytes);
+  in.read(buf.data(), bytes);
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  out.write(buf.data(), bytes);
+}
+
+TEST(Snapshot, RoundTripSearchesBitIdentically) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(200, 31));
+  const GatConfig config{.depth = 6, .memory_levels = 4, .tas_intervals = 2};
+  const GatIndex built(dataset, config);
+  const std::string path = TempPath("roundtrip.gats");
+  ASSERT_TRUE(SaveSnapshot(built, path));
+
+  const auto loaded = LoadSnapshot(path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config(), built.config());
+
+  // Same footprint accounting...
+  const auto mb = built.memory_breakdown();
+  const auto ml = loaded->memory_breakdown();
+  EXPECT_EQ(ml.MainMemoryTotal(), mb.MainMemoryTotal());
+  EXPECT_EQ(ml.DiskTotal(), mb.DiskTotal());
+
+  // ...and bit-identical answers: not just equal distances, the exact
+  // same (trajectory, distance) pairs, including deterministic work
+  // counters, for both query kinds.
+  const GatSearcher fresh(dataset, built);
+  const GatSearcher restored(dataset, *loaded);
+  for (const Query& q : TestQueries(dataset, 77)) {
+    for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+      SearchStats fresh_stats, restored_stats;
+      const ResultList a = fresh.Search(q, 9, kind, &fresh_stats);
+      const ResultList b = restored.Search(q, 9, kind, &restored_stats);
+      ASSERT_EQ(a, b) << ToString(kind);
+      EXPECT_EQ(restored_stats.candidates_retrieved,
+                fresh_stats.candidates_retrieved);
+      EXPECT_EQ(restored_stats.tas_pruned, fresh_stats.tas_pruned);
+      EXPECT_EQ(restored_stats.distance_computations,
+                fresh_stats.distance_computations);
+      EXPECT_EQ(restored_stats.disk_reads, fresh_stats.disk_reads);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SavedBytesAreDeterministic) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(120, 5));
+  const GatIndex index(dataset, GatConfig{.depth = 5, .memory_levels = 3});
+  const std::string p1 = TempPath("det1.gats");
+  const std::string p2 = TempPath("det2.gats");
+  ASSERT_TRUE(SaveSnapshot(index, p1));
+  ASSERT_TRUE(SaveSnapshot(index, p2));
+  std::ifstream a(p1, std::ios::binary), b(p2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(Snapshot, MissingFileFailsCleanly) {
+  EXPECT_EQ(LoadSnapshot(TempPath("no_such_snapshot.gats")), nullptr);
+}
+
+TEST(Snapshot, BadMagicIsRejected) {
+  const std::string path = TempPath("bad_magic.gats");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GATD this is a dataset header, not an index snapshot";
+  }
+  EXPECT_EQ(LoadSnapshot(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, VersionMismatchIsRejected) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(60, 9));
+  const GatIndex index(dataset, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("version.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  ASSERT_NE(LoadSnapshot(path), nullptr);
+
+  // The version field sits right after the 4-byte magic.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    const uint32_t future_version = 999;
+    f.write(reinterpret_cast<const char*>(&future_version),
+            sizeof(future_version));
+  }
+  EXPECT_EQ(LoadSnapshot(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ConfigMismatchOnLoadIsRejected) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(60, 11));
+  const GatConfig saved{.depth = 5, .memory_levels = 3, .tas_intervals = 2};
+  const GatIndex index(dataset, saved);
+  const std::string path = TempPath("config.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+
+  // Unchecked and matching-config loads succeed.
+  EXPECT_NE(LoadSnapshot(path), nullptr);
+  EXPECT_NE(LoadSnapshot(path, &saved), nullptr);
+
+  // Any differing field refuses the snapshot.
+  GatConfig other = saved;
+  other.depth = 6;
+  EXPECT_EQ(LoadSnapshot(path, &other), nullptr);
+  other = saved;
+  other.memory_levels = 2;
+  EXPECT_EQ(LoadSnapshot(path, &other), nullptr);
+  other = saved;
+  other.tas_intervals = 3;
+  EXPECT_EQ(LoadSnapshot(path, &other), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, DatasetFingerprintBindsSnapshotToItsDataset) {
+  const Dataset a = GenerateCity(CityProfile::Testing(60, 15));
+  const Dataset b = GenerateCity(CityProfile::Testing(60, 16));
+  const uint32_t fp_a = DatasetFingerprint(a);
+  const uint32_t fp_b = DatasetFingerprint(b);
+  ASSERT_NE(fp_a, 0u);
+  ASSERT_NE(fp_a, fp_b);
+  EXPECT_EQ(fp_a, DatasetFingerprint(a));  // deterministic
+
+  const GatIndex index(a, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("paired.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path, fp_a));
+
+  EXPECT_NE(LoadSnapshot(path, nullptr, fp_a), nullptr);  // right dataset
+  EXPECT_NE(LoadSnapshot(path), nullptr);                 // check waived
+  EXPECT_EQ(LoadSnapshot(path, nullptr, fp_b), nullptr);  // wrong dataset
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, BitCorruptionAnywhereIsRejected) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(60, 19));
+  const GatIndex index(dataset, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("corrupt.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Flipping a single byte anywhere — header fields included — must be
+  // caught (payload damage by the CRC32, header damage by the
+  // magic/version/checksum checks). Sweep a spread of positions.
+  const std::string mutated = TempPath("mutated.gats");
+  for (size_t pos = 0; pos < bytes.size();
+       pos += (pos < 16 ? 1 : 131)) {  // every header byte, then strided
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x5C);
+    {
+      std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+      out.write(copy.data(), copy.size());
+    }
+    EXPECT_EQ(LoadSnapshot(mutated), nullptr) << "byte " << pos << " flipped";
+  }
+  std::remove(mutated.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncationAnywhereIsRejected) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(80, 13));
+  const GatIndex index(dataset, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("full.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  const long size = FileSize(path);
+  ASSERT_GT(size, 0);
+
+  const std::string cut = TempPath("cut.gats");
+  // Every prefix shorter than the full file must fail — sweep a spread of
+  // cut points (every 97 bytes covers all sections at this index size)
+  // plus the last few bytes, which land inside the end tag.
+  for (long bytes = 0; bytes < size; bytes += 97) {
+    TruncateTo(path, cut, bytes);
+    EXPECT_EQ(LoadSnapshot(cut), nullptr) << "prefix of " << bytes << " bytes";
+  }
+  for (long bytes = size - 4; bytes < size; ++bytes) {
+    TruncateTo(path, cut, bytes);
+    EXPECT_EQ(LoadSnapshot(cut), nullptr) << "prefix of " << bytes << " bytes";
+  }
+  std::remove(cut.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gat
