@@ -26,6 +26,7 @@
 //   GAT_BENCH_QUERIES  queries per measurement point     (default 15; the
 //                      paper uses 50 — set it for full fidelity)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -214,10 +215,28 @@ struct Measurement {
   /// With --threads > 1 this is smaller than avg_ms * 1e6 — it measures
   /// how fast the engine drains the batch, not per-query CPU.
   double ns_per_op = 0.0;
+  /// Per-query latency percentiles over every (query, repeat) pair: the
+  /// engine-observed wall-clock of the `Search` call plus the simulated
+  /// disk time of the query's *critical path* (`QueryLatency`) — so a
+  /// fan-out searcher that overlaps per-shard I/O shows lower tails than
+  /// the same work paid sequentially. Unlike ns_per_op these measure one
+  /// query's latency, not batch throughput.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
   double rsd_pct = 0.0;      ///< relative stddev of the repeat timings
   uint32_t repeats = 0;      ///< timed batches actually run
   uint32_t threads = 1;      ///< QueryEngine workers used
 };
+
+/// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
+inline double PercentileMs(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
 
 /// Runs a workload through one searcher under the measurement protocol:
 /// `warmup` un-timed batches, then timed batches until the relative
@@ -251,12 +270,19 @@ inline Measurement MeasureWorkload(const Searcher& searcher,
     return 100.0 * std::sqrt(var) / mean;
   };
 
+  const double disk_penalty_ms = DiskPenaltyMsFromEnv();
   std::vector<double> batch_ms;   // wall-clock per batch (throughput)
   std::vector<double> cpu_ms;     // summed per-query elapsed per batch
+  std::vector<double> query_lat;  // per-(query, repeat) latency sample
   for (uint32_t r = 0; r < proto.max_repeat; ++r) {
     BatchResult batch = engine.Run(queries, k, kind);
     batch_ms.push_back(batch.wall_ms);
     cpu_ms.push_back(batch.totals.elapsed_ms);
+    for (const QueryLatency& lat : batch.latencies) {
+      query_lat.push_back(lat.wall_ms +
+                          disk_penalty_ms *
+                              static_cast<double>(lat.critical_disk_reads));
+    }
     // Counters are deterministic across repeats; keep the last batch's.
     m.totals = batch.totals;
     if (batch_ms.size() >= 2) {
@@ -266,6 +292,10 @@ inline Measurement MeasureWorkload(const Searcher& searcher,
   }
 
   m.repeats = static_cast<uint32_t>(batch_ms.size());
+  std::sort(query_lat.begin(), query_lat.end());
+  m.p50_ms = PercentileMs(query_lat, 50.0);
+  m.p95_ms = PercentileMs(query_lat, 95.0);
+  m.p99_ms = PercentileMs(query_lat, 99.0);
   m.ns_per_op = mean_of(batch_ms) * 1e6 / static_cast<double>(queries.size());
   // CPU time from the searchers' own per-query stopwatches: the sum over a
   // batch is invariant to how the engine spread the queries over threads.
@@ -296,8 +326,11 @@ class BenchReport {
       : name_(std::move(name)), proto_(proto) {}
 
   /// Records one measured point. `ops` is the number of operations behind
-  /// one repeat (usually the workload's query count).
-  void Add(const std::string& point_name, const Measurement& m, size_t ops) {
+  /// one repeat (usually the workload's query count). `shards` > 0 stamps
+  /// the record with the shard count behind it; scripts/bench_diff.py
+  /// refuses to compare records measured at different shard counts.
+  void Add(const std::string& point_name, const Measurement& m, size_t ops,
+           uint32_t shards = 0) {
     Record rec;
     rec.name = point_name;
     rec.ns_per_op = m.ns_per_op;
@@ -310,6 +343,11 @@ class BenchReport {
     rec.disk_reads = m.totals.disk_reads;
     rec.avg_ms_per_query = m.avg_ms;
     rec.avg_cost_ms_per_query = m.avg_cost_ms;
+    rec.p50_ms = m.p50_ms;
+    rec.p95_ms = m.p95_ms;
+    rec.p99_ms = m.p99_ms;
+    rec.has_latency = true;
+    rec.shards = shards;
     records_.push_back(std::move(rec));
   }
 
@@ -358,7 +396,7 @@ class BenchReport {
                       "\"candidates_verified\": %llu, \"tas_pruned\": %llu, "
                       "\"distance_computations\": %llu, \"disk_reads\": %llu, "
                       "\"avg_ms_per_query\": %.6f, "
-                      "\"avg_cost_ms_per_query\": %.6f}",
+                      "\"avg_cost_ms_per_query\": %.6f",
                    i == 0 ? "" : ",", Escaped(r.name).c_str(), r.ns_per_op,
                    r.rsd_pct, r.repeats, r.ops,
                    static_cast<unsigned long long>(r.candidates_verified),
@@ -366,6 +404,15 @@ class BenchReport {
                    static_cast<unsigned long long>(r.distance_computations),
                    static_cast<unsigned long long>(r.disk_reads),
                    r.avg_ms_per_query, r.avg_cost_ms_per_query);
+      // Optional fields (schema is append-only; consumers must ignore
+      // keys they do not know — see docs/BENCH_PROTOCOL.md).
+      if (r.has_latency) {
+        std::fprintf(f, ", \"p50_ms\": %.6f, \"p95_ms\": %.6f, "
+                        "\"p99_ms\": %.6f",
+                     r.p50_ms, r.p95_ms, r.p99_ms);
+      }
+      if (r.shards > 0) std::fprintf(f, ", \"shards\": %u", r.shards);
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -386,6 +433,11 @@ class BenchReport {
     uint64_t disk_reads = 0;
     double avg_ms_per_query = 0.0;
     double avg_cost_ms_per_query = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    bool has_latency = false;  // AddRaw points have no per-query sample
+    uint32_t shards = 0;       // 0 = not a sharded measurement
   };
 
   static std::string Escaped(const std::string& s) {

@@ -8,20 +8,31 @@ Implements the comparison rules of docs/BENCH_PROTOCOL.md:
     ``protocol.disk_penalty_ms`` — those change the workload, so a diff
     would be meaningless. Cross-thread-count compares are refused too:
     ``ns_per_op`` is throughput time and only comparable at equal
-    ``protocol.threads``.
+    ``protocol.threads``. Records (or protocol blocks) stamped with a
+    ``shards`` count are refused when the counts differ: per-shard
+    counters scale with the partition, so the workloads are different
+    experiments.
   * Fails (exit 1) when any deterministic work counter
     (candidates_verified, tas_pruned, distance_computations, disk_reads)
     drifts: counters are scheduling-independent, so any change is a
     behavioral change, not noise (``--allow-counter-drift`` downgrades
     this to a warning for PRs that intentionally change the algorithm).
-  * Fails (exit 1) when ``avg_ms_per_query`` regresses by more than
+  * Fails (exit 1) when ``avg_ms_per_query`` — or, when both sides
+    carry it, the per-query ``p95_ms`` latency — regresses by more than
     ``--max-regress-pct`` (default 15) on any record present in both
     files. ``avg_ms_per_query`` is CPU time per query and thread-count
-    independent. ``--skip-timing`` disables this gate (e.g. comparing
+    independent. ``--skip-timing`` disables these gates (e.g. comparing
     runs from different machines where only counters are meaningful).
   * Warns when ``ns_per_op`` regresses beyond the protocol's noise gate
     (3 x max(rsd_old, rsd_new) percent) — advisory only, since
     wall-clock throughput is the noisiest signal.
+
+Forward compatibility: the JSON schema is append-only and this tool
+compares only the fields it knows about. Unknown keys — in the top
+level, the protocol block, or any record — are ignored, so baselines
+recorded before a field existed keep gating candidates that carry it
+(a counter/timing field present on only one side is skipped, never an
+error).
 
 Usage:
   bench_diff.py BASELINE.json CANDIDATE.json [--max-regress-pct PCT]
@@ -73,6 +84,13 @@ def check_compatible(old, new):
     if ta != tb:
         refuse(f"protocol.threads differs ({ta} vs {tb}); ns_per_op is "
                "throughput time and only comparable at equal thread counts")
+    # `shards` is optional (absent on un-sharded benches and on baselines
+    # that predate the field); when both sides declare it, it must match.
+    sa, sb = old["protocol"].get("shards"), new["protocol"].get("shards")
+    if sa is not None and sb is not None and sa != sb:
+        refuse(f"protocol.shards differs ({sa} vs {sb}); per-shard work "
+               "scales with the partition, so the runs are not the same "
+               "experiment")
 
 
 def main():
@@ -117,10 +135,21 @@ def main():
     for name in sorted(set(old_records) & set(new_records)):
         o, n = old_records[name], new_records[name]
 
+        # Same record name, different shard count: refuse rather than
+        # diff — the counters describe different partitions.
+        if ("shards" in o and "shards" in n and o["shards"] != n["shards"]):
+            refuse(f"{name}: shards differs ({o['shards']} vs "
+                   f"{n['shards']}); per-shard work scales with the "
+                   "partition, so the records are not comparable")
+
         for field in COUNTER_FIELDS:
-            if o.get(field, 0) != n.get(field, 0):
-                message = (f"{name}: {field} {o.get(field, 0)} -> "
-                           f"{n.get(field, 0)} (deterministic counter drift "
+            # Compare only fields both sides carry (append-only schema:
+            # an old baseline may predate a counter).
+            if field not in o or field not in n:
+                continue
+            if o[field] != n[field]:
+                message = (f"{name}: {field} {o[field]} -> "
+                           f"{n[field]} (deterministic counter drift "
                            "= behavioral change)")
                 (warnings if args.allow_counter_drift else failures).append(
                     message)
@@ -132,6 +161,16 @@ def main():
                 failures.append(f"{name}: avg_ms_per_query regressed "
                                 f"{pct:+.1f}% ({o['avg_ms_per_query']:.6f} -> "
                                 f"{n['avg_ms_per_query']:.6f} ms)")
+
+        # Per-query latency tail: gate only when both sides carry the
+        # field (baselines recorded before p95_ms existed still work).
+        if (not args.skip_timing and o.get("p95_ms", 0) > 0
+                and "p95_ms" in n):
+            pct = 100.0 * (n.get("p95_ms", 0) / o["p95_ms"] - 1.0)
+            if pct > args.max_regress_pct:
+                failures.append(f"{name}: p95_ms latency regressed "
+                                f"{pct:+.1f}% ({o['p95_ms']:.6f} -> "
+                                f"{n.get('p95_ms', 0):.6f} ms)")
 
         # Wall-clock advisory only when timing is meaningful for this pair
         # (same machine); --skip-timing declares it is not.

@@ -1,0 +1,117 @@
+#include "gat/engine/executor.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gat {
+
+uint32_t ResolveThreadCount(uint32_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+Executor::Executor(uint32_t threads) : threads_(ResolveThreadCount(threads)) {
+  workers_.reserve(threads_);
+  for (uint32_t w = 0; w < threads_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+Executor& Executor::Default() {
+  static Executor executor(0);
+  return executor;
+}
+
+void Executor::Enqueue(QueuedTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool Executor::RunOneTask(TaskGroup* only_from) {
+  QueuedTask task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queue_.begin();
+    if (only_from != nullptr) {
+      // Help only the caller's group: a waiter must never spend its
+      // (possibly timed) wait executing a stranger's task. The queue is
+      // fan-out-sized, so the scan is short.
+      while (it != queue_.end() && it->group != only_from) ++it;
+    }
+    if (it == queue_.end()) return false;
+    task = std::move(*it);
+    queue_.erase(it);
+  }
+  task.fn();
+  return true;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before honoring stop: a group destroyed right
+      // before the executor must still see its tasks finish.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  executor_.Enqueue(Executor::QueuedTask{
+      [this, fn = std::move(fn)] {
+        fn();
+        OnTaskDone();
+      },
+      this});
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    // Help: run this group's queued tasks instead of parking. Only when
+    // none are queued — the stragglers are mid-flight on other threads —
+    // does this thread actually block.
+    if (executor_.RunOneTask(this)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-check under the lock, then sleep with a short lease: a task
+    // running on another thread may enqueue helpable subtasks after the
+    // queue looked empty, and the timeout turns that race into a bounded
+    // stall instead of a missed wakeup.
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return pending_ == 0; });
+    if (pending_ == 0) return;
+  }
+}
+
+void TaskGroup::OnTaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+}  // namespace gat

@@ -1,0 +1,134 @@
+#ifndef GAT_ENGINE_EXECUTOR_H_
+#define GAT_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gat {
+
+class TaskGroup;
+
+/// The thread-count rule every layer shares: `requested` = 0 resolves
+/// to std::thread::hardware_concurrency(), floored at 1.
+uint32_t ResolveThreadCount(uint32_t requested);
+
+/// A persistent pool of worker threads executing submitted tasks — the
+/// one threading primitive every layer shares. Query batches
+/// (`QueryEngine`), per-query shard fan-out (`ShardedSearcher`), shard
+/// builds and snapshot loads (`ShardedIndex`) all run as tasks on one
+/// executor, so a process that rebuilds an index while serving queries
+/// pays for exactly one thread set, and independent callers interleave
+/// on the same workers instead of serializing behind a mutex.
+///
+/// Tasks are submitted through a `TaskGroup` (below), which is also the
+/// completion token. There is no per-task future: the unit of
+/// synchronization is "this group of sibling tasks is done", which is
+/// what batches, fan-outs and builds all need.
+///
+/// ## Nested submission
+///
+/// A task may itself create a `TaskGroup`, submit subtasks and `Wait()`
+/// on them. Waiting never parks a thread while that group has queued
+/// tasks: the waiter *helps*, draining its own group's tasks from the
+/// executor's queue until the group completes. That is what makes
+/// per-query shard fan-out inside an engine worker safe — no
+/// thread-in-thread spawning, no worker starvation, and a
+/// single-threaded executor degrades to plain (deterministic) inline
+/// execution because the submitting thread runs every task itself.
+/// Helping is deliberately restricted to the waiter's own group: a
+/// waiter never executes a stranger's task, so a timed section around a
+/// fan-out (e.g. the engine's per-query stopwatch) measures only its
+/// own work.
+///
+/// Progress argument: every queued task belongs to a group whose waiter
+/// helps it, so a waiter blocks only when its remaining tasks are
+/// already running on other threads. Tasks block only in nested
+/// `Wait()`s (group scopes nest LIFO), so the innermost running task
+/// always runs to completion and wakes its waiter — acyclic by
+/// construction, hence no deadlock.
+///
+/// Thread-safety: all members are internally synchronized; `Submit` /
+/// `Wait` / `RunOneTask` may be called from any thread, including from
+/// inside tasks.
+class Executor {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency(). The pool
+  /// is spawned eagerly and lives until destruction.
+  explicit Executor(uint32_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  uint32_t threads() const { return threads_; }
+
+  /// Process-wide shared executor (hardware_concurrency workers),
+  /// created on first use. The default pool for callers that do not
+  /// manage executor lifetime themselves.
+  static Executor& Default();
+
+  /// Runs one queued task on the calling thread if any is pending;
+  /// `only_from` (optional) restricts the pick to that group's tasks.
+  /// Returns false when nothing eligible was queued. The building block
+  /// of help-while-waiting; exposed for tests.
+  bool RunOneTask(TaskGroup* only_from = nullptr);
+
+ private:
+  friend class TaskGroup;
+
+  struct QueuedTask {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  void Enqueue(QueuedTask task);
+  void WorkerLoop();
+
+  const uint32_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedTask> queue_;
+  bool stop_ = false;
+};
+
+/// A set of sibling tasks on one executor plus their completion barrier.
+/// Submit any number of tasks, then `Wait()`; the destructor waits too,
+/// so tasks can safely capture stack state of the submitting frame by
+/// reference. Single-use: create one group per fan-out.
+///
+/// `Wait()` helps execute this group's queued tasks while any are
+/// pending, so nesting groups inside tasks cannot starve the pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn`. The task must not outlive the group (Wait/dtor
+  /// guarantees it does not).
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, executing this
+  /// group's queued tasks on this thread while waiting. Idempotent.
+  void Wait();
+
+ private:
+  void OnTaskDone();
+
+  Executor& executor_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+};
+
+}  // namespace gat
+
+#endif  // GAT_ENGINE_EXECUTOR_H_

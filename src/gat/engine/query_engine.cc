@@ -1,9 +1,6 @@
 #include "gat/engine/query_engine.h"
 
-#include <condition_variable>
-#include <functional>
-#include <mutex>
-#include <thread>
+#include <algorithm>
 
 #include "gat/common/check.h"
 #include "gat/engine/work_queue.h"
@@ -13,98 +10,41 @@ namespace gat {
 
 namespace {
 
-uint32_t ResolveThreads(uint32_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+const Searcher& DerefSearcher(const std::unique_ptr<Searcher>& searcher) {
+  GAT_CHECK(searcher != nullptr);
+  return *searcher;
 }
 
 }  // namespace
 
-/// Fixed pool of workers parked on a condition variable between batches.
-/// A batch is published as (job, epoch): workers run `job(worker_id)` once
-/// per epoch and report back through `active`.
-struct QueryEngine::Pool {
-  explicit Pool(uint32_t num_workers) {
-    workers.reserve(num_workers);
-    for (uint32_t w = 0; w < num_workers; ++w) {
-      workers.emplace_back([this, w] { WorkerLoop(w); });
-    }
-  }
-
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      stop = true;
-    }
-    cv_work.notify_all();
-    for (auto& t : workers) t.join();
-  }
-
-  /// Runs `fn(worker_id)` on every worker and blocks until all return.
-  void RunBatch(const std::function<void(uint32_t)>& fn) {
-    std::unique_lock<std::mutex> lock(mu);
-    job = &fn;
-    active = static_cast<uint32_t>(workers.size());
-    ++epoch;
-    cv_work.notify_all();
-    cv_done.wait(lock, [this] { return active == 0; });
-    job = nullptr;
-  }
-
- private:
-  void WorkerLoop(uint32_t worker_id) {
-    uint64_t seen_epoch = 0;
-    for (;;) {
-      const std::function<void(uint32_t)>* my_job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv_work.wait(lock, [&] { return stop || epoch != seen_epoch; });
-        if (stop) return;
-        seen_epoch = epoch;
-        my_job = job;
-      }
-      (*my_job)(worker_id);
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (--active == 0) cv_done.notify_all();
-      }
-    }
-  }
-
-  std::vector<std::thread> workers;
-  std::mutex mu;
-  std::condition_variable cv_work;
-  std::condition_variable cv_done;
-  const std::function<void(uint32_t)>* job = nullptr;
-  uint64_t epoch = 0;
-  uint32_t active = 0;
-  bool stop = false;
-};
-
 QueryEngine::QueryEngine(const Searcher& searcher, EngineOptions options)
-    : searcher_(searcher), threads_(ResolveThreads(options.threads)) {
-  if (threads_ > 1) pool_ = std::make_unique<Pool>(threads_);
+    : searcher_(searcher) {
+  if (options.executor != nullptr) {
+    executor_ = options.executor;
+    threads_ = executor_->threads();
+  } else {
+    threads_ = ResolveThreadCount(options.threads);
+    if (threads_ > 1) {
+      owned_executor_ = std::make_unique<Executor>(threads_);
+      executor_ = owned_executor_.get();
+    }
+  }
 }
 
 QueryEngine::QueryEngine(std::unique_ptr<Searcher> searcher,
                          EngineOptions options)
-    : owned_(std::move(searcher)),
-      searcher_(*owned_),
-      threads_(ResolveThreads(options.threads)) {
-  GAT_CHECK(owned_ != nullptr);
-  if (threads_ > 1) pool_ = std::make_unique<Pool>(threads_);
+    : QueryEngine(DerefSearcher(searcher), options) {
+  owned_ = std::move(searcher);
 }
 
 QueryEngine::~QueryEngine() = default;
 
 BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
                              QueryKind kind) const {
-  std::lock_guard<std::mutex> run_lock(run_mu_);
   BatchResult batch;
   batch.threads_used = threads_;
   batch.results.resize(queries.size());
-  batch.per_thread.assign(threads_, SearchStats{});
+  batch.latencies.resize(queries.size());
   Stopwatch timer;
 
   if (queries.empty()) {
@@ -112,28 +52,39 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
     return batch;
   }
 
-  // Each worker writes only results[i] for the indices it claimed and only
-  // its own per_thread slot, so the batch needs no synchronization beyond
-  // the queue cursors and the completion barrier.
-  WorkStealingQueue queue(queries.size(), threads_);
-  auto worker_body = [&](uint32_t worker_id) {
-    SearchStats& slot = batch.per_thread[worker_id];
+  // One task per slot, each draining the shared work-stealing queue. A
+  // task writes only results[i]/latencies[i] for the indices it claimed
+  // and only its own per_thread slot, so the batch needs no
+  // synchronization beyond the queue cursors and the group barrier.
+  const uint32_t fanout = static_cast<uint32_t>(
+      std::min<size_t>(threads_, queries.size()));
+  batch.per_thread.assign(fanout, SearchStats{});
+  WorkStealingQueue queue(queries.size(), fanout);
+  auto task_body = [&](uint32_t slot) {
+    SearchStats& acc = batch.per_thread[slot];
     size_t idx = 0;
-    while (queue.TryPop(worker_id, &idx)) {
+    while (queue.TryPop(slot, &idx)) {
+      Stopwatch query_timer;
       SearchStats per_query;
       batch.results[idx] = searcher_.Search(queries[idx], k, kind, &per_query);
-      slot += per_query;
+      batch.latencies[idx].wall_ms = query_timer.ElapsedMillis();
+      batch.latencies[idx].critical_disk_reads = per_query.CriticalDiskReads();
+      acc += per_query;
     }
   };
 
-  if (pool_ == nullptr) {
-    worker_body(0);
+  if (executor_ == nullptr) {
+    task_body(0);
   } else {
-    pool_->RunBatch(worker_body);
+    TaskGroup group(*executor_);
+    for (uint32_t slot = 0; slot < fanout; ++slot) {
+      group.Submit([&task_body, slot] { task_body(slot); });
+    }
+    group.Wait();
   }
 
-  // Lock-free merge: workers are done (barrier above), each slot had a
-  // single writer, summation is single-threaded.
+  // Lock-free merge: the group barrier is past, each slot had a single
+  // writer, summation is single-threaded and in slot order.
   for (const SearchStats& s : batch.per_thread) batch.totals += s;
   batch.wall_ms = timer.ElapsedMillis();
   return batch;

@@ -7,8 +7,24 @@
 
 namespace gat {
 
+namespace {
+
+// An empty dataset has an empty bounding box, but the grid needs a
+// non-degenerate space. Any fixed rect works — no point ever lands in
+// it, every posting list stays empty, and searches return no results —
+// so empty shards (ShardedIndex with more shards than trajectories, or
+// an empty parent dataset) build and snapshot like any other index.
+Rect GridSpace(const Dataset& dataset) {
+  if (dataset.bounding_box().IsEmpty()) {
+    return Rect{Point{0.0, 0.0}, Point{1.0, 1.0}};
+  }
+  return dataset.bounding_box();
+}
+
+}  // namespace
+
 GatIndex::GatIndex(const Dataset& dataset, const GatConfig& config)
-    : config_(config), grid_(dataset.bounding_box(), config.depth) {
+    : config_(config), grid_(GridSpace(dataset), config.depth) {
   GAT_CHECK(dataset.finalized());
   Stopwatch timer;
 

@@ -4,12 +4,16 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <vector>
+
+#include "gat/engine/executor.h"
 
 #include "gat/index/apl.h"
 #include "gat/index/grid.h"
@@ -155,6 +159,44 @@ bool OffsetsValid(const std::vector<uint32_t>& offsets, size_t num_keys,
   return std::is_sorted(offsets.begin(), offsets.end());
 }
 
+/// Rows below this count validate inline: the task-submission overhead
+/// would exceed the per-row sorted/bounds checks being fanned out.
+constexpr size_t kParallelValidateMinRows = 256;
+
+/// Runs `row_ok(i)` over every row, fanned out in contiguous chunks on
+/// `executor` when one is given and the section is big enough to pay for
+/// it. Row checks are independent reads of already-loaded vectors, so
+/// the only shared state is the sticky failure flag. Returns true iff
+/// every row passes — the same decision the inline loop makes.
+bool ValidateRows(Executor* executor, size_t rows,
+                  const std::function<bool(size_t)>& row_ok) {
+  if (executor == nullptr || executor->threads() <= 1 ||
+      rows < kParallelValidateMinRows) {
+    for (size_t i = 0; i < rows; ++i) {
+      if (!row_ok(i)) return false;
+    }
+    return true;
+  }
+  const size_t chunks = std::min<size_t>(executor->threads(), rows);
+  const size_t per_chunk = (rows + chunks - 1) / chunks;
+  std::atomic<bool> ok{true};
+  TaskGroup group(*executor);
+  for (size_t begin = 0; begin < rows; begin += per_chunk) {
+    const size_t end = std::min(rows, begin + per_chunk);
+    group.Submit([&ok, &row_ok, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        if (!ok.load(std::memory_order_relaxed)) return;  // already doomed
+        if (!row_ok(i)) {
+          ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  group.Wait();
+  return ok.load();
+}
+
 }  // namespace
 
 /// Private-state accessor for snapshot save/load; befriended by GatIndex
@@ -186,7 +228,8 @@ struct SnapshotIo {
   static std::unique_ptr<GatIndex> LoadPayload(std::istream& in,
                                                uint64_t payload_size,
                                                const GatConfig* expected,
-                                               uint32_t expected_fingerprint) {
+                                               uint32_t expected_fingerprint,
+                                               Executor* executor) {
     GatConfig config;
     int32_t depth = 0, memory_levels = 0, tas_intervals = 0;
     uint32_t fingerprint = 0;
@@ -219,14 +262,14 @@ struct SnapshotIo {
     // Private restore ctor; components are filled below.
     std::unique_ptr<GatIndex> index(
         new GatIndex(config, GridGeometry::Restore(space, config.depth)));
-    index->hicl_ = LoadHicl(in, payload_size, config);
+    index->hicl_ = LoadHicl(in, payload_size, config, executor);
     if (index->hicl_ == nullptr) return nullptr;
     uint64_t itl_rows_required = 0;  // 1 + max trajectory ID the ITL emits
     index->itl_ = LoadItl(in, payload_size, config, &itl_rows_required);
     if (index->itl_ == nullptr) return nullptr;
     index->tas_ = LoadTas(in, payload_size, config);
     if (index->tas_ == nullptr) return nullptr;
-    index->apl_ = LoadApl(in, payload_size);
+    index->apl_ = LoadApl(in, payload_size, executor);
     if (index->apl_ == nullptr) return nullptr;
     if (!ExpectTag(in, kTagEnd)) return nullptr;
 
@@ -257,7 +300,8 @@ struct SnapshotIo {
 
   static std::unique_ptr<Hicl> LoadHicl(std::istream& in,
                                         uint64_t payload_size,
-                                        const GatConfig& config) {
+                                        const GatConfig& config,
+                                        Executor* executor) {
     if (!ExpectTag(in, kTagHicl)) return nullptr;
     std::unique_ptr<Hicl> hicl(new Hicl());
     hicl->depth_ = config.depth;
@@ -270,21 +314,34 @@ struct SnapshotIo {
     hicl->memory_bytes_ = memory_bytes;
     hicl->disk_bytes_ = disk_bytes;
     hicl->per_activity_.resize(num_activities);
+    // Deserialize sequentially (the stream is one cursor), then validate
+    // the rows fanned out: the sorted/bounds sweeps dominate warm-start
+    // CPU on large snapshots and are independent per activity.
     for (auto& lists : hicl->per_activity_) {
       lists.cells.resize(config.depth);
       for (int level = 1; level <= config.depth; ++level) {
-        auto& level_cells = lists.cells[level - 1];
-        if (!ReadVec(in, &level_cells, payload_size)) return nullptr;
-        // Contains() binary-searches these lists; codes must be sorted
-        // and addressable within the 4^level cells of the level.
-        const uint64_t cell_count = uint64_t{1} << (2 * level);
-        if (!std::is_sorted(level_cells.begin(), level_cells.end()) ||
-            (!level_cells.empty() && level_cells.back() >= cell_count)) {
+        if (!ReadVec(in, &lists.cells[level - 1], payload_size)) {
           return nullptr;
         }
       }
     }
-    return hicl;
+    const bool rows_ok = ValidateRows(
+        executor, hicl->per_activity_.size(), [&hicl, &config](size_t row) {
+          const auto& lists = hicl->per_activity_[row];
+          for (int level = 1; level <= config.depth; ++level) {
+            const auto& level_cells = lists.cells[level - 1];
+            // Contains() binary-searches these lists; codes must be
+            // sorted and addressable within the 4^level cells of the
+            // level.
+            const uint64_t cell_count = uint64_t{1} << (2 * level);
+            if (!std::is_sorted(level_cells.begin(), level_cells.end()) ||
+                (!level_cells.empty() && level_cells.back() >= cell_count)) {
+              return false;
+            }
+          }
+          return true;
+        });
+    return rows_ok ? std::move(hicl) : nullptr;
   }
 
   // ------------------------------------------------------------------- ITL
@@ -379,8 +436,8 @@ struct SnapshotIo {
     }
   }
 
-  static std::unique_ptr<Apl> LoadApl(std::istream& in,
-                                      uint64_t payload_size) {
+  static std::unique_ptr<Apl> LoadApl(std::istream& in, uint64_t payload_size,
+                                      Executor* executor) {
     if (!ExpectTag(in, kTagApl)) return nullptr;
     std::unique_ptr<Apl> apl(new Apl());
     uint64_t disk_bytes = 0, num_trajectories = 0;
@@ -390,18 +447,22 @@ struct SnapshotIo {
     }
     apl->disk_bytes_ = disk_bytes;
     apl->per_trajectory_.resize(num_trajectories);
+    // Same split as LoadHicl: sequential reads, fanned-out row checks.
     for (auto& tp : apl->per_trajectory_) {
       if (!ReadVec(in, &tp.activities, payload_size) ||
           !ReadVec(in, &tp.offsets, payload_size) ||
           !ReadVec(in, &tp.points, payload_size)) {
         return nullptr;
       }
-      if (!OffsetsValid(tp.offsets, tp.activities.size(), tp.points.size()) ||
-          !std::is_sorted(tp.activities.begin(), tp.activities.end())) {
-        return nullptr;
-      }
     }
-    return apl;
+    const bool rows_ok = ValidateRows(
+        executor, apl->per_trajectory_.size(), [&apl](size_t row) {
+          const auto& tp = apl->per_trajectory_[row];
+          return OffsetsValid(tp.offsets, tp.activities.size(),
+                              tp.points.size()) &&
+                 std::is_sorted(tp.activities.begin(), tp.activities.end());
+        });
+    return rows_ok ? std::move(apl) : nullptr;
   }
 };
 
@@ -471,7 +532,8 @@ bool SaveSnapshot(const GatIndex& index, const std::string& path,
 
 std::unique_ptr<GatIndex> LoadSnapshot(const std::string& path,
                                        const GatConfig* expected,
-                                       uint32_t expected_fingerprint) {
+                                       uint32_t expected_fingerprint,
+                                       Executor* executor) {
   Stopwatch timer;
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
@@ -500,7 +562,7 @@ std::unique_ptr<GatIndex> LoadSnapshot(const std::string& path,
   in.clear();
   in.seekg(kHeaderBytes, std::ios::beg);
   auto index = SnapshotIo::LoadPayload(in, payload_size, expected,
-                                       expected_fingerprint);
+                                       expected_fingerprint, executor);
   if (index != nullptr) {
     SnapshotIo::set_build_seconds(*index, timer.ElapsedMillis() / 1000.0);
   }

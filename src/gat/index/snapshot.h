@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "gat/engine/executor.h"
 #include "gat/index/gat_index.h"
 
 namespace gat {
@@ -53,9 +54,16 @@ bool SaveSnapshot(const GatIndex& index, const std::string& path,
 /// parameters or over a different dataset. The returned index's
 /// `build_seconds()` reports the load time. Returns nullptr on any
 /// error.
+///
+/// `executor` (optional, non-owning) fans the structural validation of
+/// the big HICL/APL sections out as tasks — the warm-start accelerator
+/// for callers that already run a pool, e.g. `ShardedIndex` restoring
+/// every shard on the serving executor. The accept/reject decision is
+/// identical with or without it.
 std::unique_ptr<GatIndex> LoadSnapshot(const std::string& path,
                                        const GatConfig* expected = nullptr,
-                                       uint32_t expected_fingerprint = 0);
+                                       uint32_t expected_fingerprint = 0,
+                                       Executor* executor = nullptr);
 
 }  // namespace gat
 

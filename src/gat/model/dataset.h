@@ -81,6 +81,13 @@ class Dataset {
   /// parent's bounding box (per-shard grids are geometrically identical).
   /// `activity_frequencies()` of a shard is the parent's global table —
   /// shard-local recounts would re-introduce a per-shard ID semantics.
+  ///
+  /// `num_shards > size()` necessarily yields empty shards (round-robin
+  /// has nothing to place in them). Empty shards are valid finalized
+  /// datasets carrying the parent's frame; `ShardedIndex` builds a valid
+  /// empty index over them (GatIndex substitutes a fixed grid space when
+  /// the inherited bounding box is itself empty) and `ShardedSearcher`
+  /// contributes zero candidates from them.
   std::vector<Dataset> PartitionRoundRobin(uint32_t num_shards) const;
 
  private:

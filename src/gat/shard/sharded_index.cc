@@ -1,10 +1,12 @@
 #include "gat/shard/sharded_index.h"
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <memory>
 
 #include "gat/common/check.h"
-#include "gat/engine/parallel_for.h"
+#include "gat/engine/executor.h"
 #include "gat/index/snapshot.h"
 #include "gat/util/stopwatch.h"
 
@@ -26,7 +28,7 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
   }
 
   std::atomic<uint32_t> loaded{0};
-  ParallelFor(options.build_threads, num_shards_, [&](size_t shard) {
+  auto build_shard = [&](uint32_t shard, Executor* executor) {
     const Dataset& shard_dataset = shard_datasets_[shard];
     // Binds each snapshot to this exact dataset cut: a stale file — even
     // of a same-sized dataset — fails the load and triggers a rebuild.
@@ -34,9 +36,9 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
     const uint32_t fingerprint =
         use_snapshots ? DatasetFingerprint(shard_dataset) : 0;
     if (use_snapshots) {
-      const std::string path = SnapshotPath(
-          options.snapshot_dir, static_cast<uint32_t>(shard), num_shards_);
-      auto index = LoadSnapshot(path, &config_, fingerprint);
+      const std::string path =
+          SnapshotPath(options.snapshot_dir, shard, num_shards_);
+      auto index = LoadSnapshot(path, &config_, fingerprint, executor);
       if (index != nullptr) {
         shard_indexes_[shard] = std::move(index);
         loaded.fetch_add(1, std::memory_order_relaxed);
@@ -45,12 +47,38 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
     }
     shard_indexes_[shard] = std::make_unique<GatIndex>(shard_dataset, config_);
     if (use_snapshots) {
-      const std::string path = SnapshotPath(
-          options.snapshot_dir, static_cast<uint32_t>(shard), num_shards_);
+      const std::string path =
+          SnapshotPath(options.snapshot_dir, shard, num_shards_);
       (void)SaveSnapshot(*shard_indexes_[shard], path,
                          fingerprint);  // cache priming
     }
-  });
+  };
+
+  // Builds and snapshot loads are tasks on the shared executor when the
+  // caller provides one (a serving process rebuilds on the same pool
+  // its queries run on); otherwise a construction-scoped executor fans
+  // the shards out, and build_threads == 1 stays a plain inline loop.
+  Executor* executor = options.executor;
+  std::unique_ptr<Executor> scoped;
+  if (executor == nullptr && options.build_threads != 1 && num_shards_ > 1) {
+    const uint32_t threads =
+        std::min(ResolveThreadCount(options.build_threads), num_shards_);
+    scoped = std::make_unique<Executor>(threads);
+    executor = scoped.get();
+  }
+  if (executor == nullptr) {
+    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+      build_shard(shard, nullptr);
+    }
+  } else {
+    TaskGroup group(*executor);
+    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+      group.Submit([&build_shard, shard, executor] {
+        build_shard(shard, executor);
+      });
+    }
+    group.Wait();
+  }
 
   loaded_from_snapshot_ = loaded.load();
   build_seconds_ = timer.ElapsedMillis() / 1000.0;

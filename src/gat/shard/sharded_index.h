@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "gat/engine/executor.h"
 #include "gat/index/gat_index.h"
 #include "gat/model/dataset.h"
 
@@ -17,9 +18,16 @@ struct ShardOptions {
   /// sharded interface.
   uint32_t num_shards = 1;
 
-  /// Threads used to build / snapshot-load the shards in parallel.
-  /// 0 = hardware_concurrency.
+  /// Parallelism of the per-shard builds / snapshot loads when no
+  /// `executor` is shared: 0 = hardware_concurrency, 1 = build inline on
+  /// the calling thread. Ignored when `executor` is set.
   uint32_t build_threads = 0;
+
+  /// Run the shard builds and snapshot loads as tasks on an existing
+  /// executor (non-owning; must outlive the constructor call) instead of
+  /// a construction-scoped pool. Pass the executor that also serves
+  /// queries and a rebuilding process pays for exactly one thread set.
+  Executor* executor = nullptr;
 
   /// When non-empty, the construction first tries to load each shard's
   /// index from `<snapshot_dir>/shard-<i>-of-<N>.gats`; shards whose
@@ -40,12 +48,19 @@ struct ShardOptions {
 /// results mergeable without translation. Local shard IDs map back via
 /// `GlobalId(shard, local) = local * N + shard`.
 ///
+/// Shards whose partition slice is empty (more shards than trajectories,
+/// or an empty parent dataset) are first-class: they build a valid empty
+/// GatIndex over the inherited frame, snapshot-cache like any other
+/// shard, and answer every query with zero results.
+///
 /// Thread-safety: immutable after the constructor returns, like GatIndex.
 class ShardedIndex {
  public:
   /// Partitions `dataset` and builds (or snapshot-loads) all shard
-  /// indexes, in parallel when `options.build_threads != 1`. `dataset`
-  /// itself is copied into the shards and need not outlive the index.
+  /// indexes as sibling tasks on `options.executor` (or a
+  /// construction-scoped executor of `options.build_threads` workers).
+  /// `dataset` itself is copied into the shards and need not outlive the
+  /// index.
   explicit ShardedIndex(const Dataset& dataset, const GatConfig& config = {},
                         const ShardOptions& options = {});
 

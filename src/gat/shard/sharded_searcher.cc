@@ -1,12 +1,15 @@
 #include "gat/shard/sharded_searcher.h"
 
+#include <algorithm>
+
 #include "gat/util/top_k.h"
 
 namespace gat {
 
 ShardedSearcher::ShardedSearcher(const ShardedIndex& index,
-                                 const GatSearchParams& params)
-    : index_(index) {
+                                 const GatSearchParams& params,
+                                 Executor* executor)
+    : index_(index), executor_(executor) {
   shard_searchers_.reserve(index.num_shards());
   for (uint32_t shard = 0; shard < index.num_shards(); ++shard) {
     shard_searchers_.push_back(std::make_unique<GatSearcher>(
@@ -19,14 +22,55 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
   // Per-query stats, like every other Searcher: reset, then accumulate
   // the shard sweeps of *this* query.
   if (stats != nullptr) stats->Reset();
+  const uint32_t num_shards = index_.num_shards();
+
+  std::vector<ResultList> shard_results(num_shards);
+  std::vector<SearchStats> shard_stats(stats != nullptr ? num_shards : 0);
+  auto search_shard = [&](uint32_t shard) {
+    shard_results[shard] = shard_searchers_[shard]->Search(
+        query, k, kind, stats != nullptr ? &shard_stats[shard] : nullptr);
+  };
+
+  if (executor_ == nullptr || num_shards <= 1) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) search_shard(shard);
+  } else {
+    // Sibling tasks on the shared pool; each writes only its pre-sized
+    // slot, and the caller helps drain the group (nest-safe when this
+    // Search already runs on an executor task).
+    TaskGroup group(*executor_);
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      group.Submit([&search_shard, shard] { search_shard(shard); });
+    }
+    group.Wait();
+  }
+
+  // Merge after the barrier, in shard order — the result and the stats
+  // are bit-identical whether the shards ran inline or as tasks.
   TopKCollector merged(k);
-  for (uint32_t shard = 0; shard < index_.num_shards(); ++shard) {
-    SearchStats shard_stats;
-    const ResultList shard_results = shard_searchers_[shard]->Search(
-        query, k, kind, stats != nullptr ? &shard_stats : nullptr);
-    if (stats != nullptr) *stats += shard_stats;
-    for (const SearchResult& r : shard_results) {
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    for (const SearchResult& r : shard_results[shard]) {
       merged.Offer(index_.GlobalId(shard, r.trajectory), r.distance);
+    }
+  }
+  if (stats != nullptr) {
+    uint64_t slowest_branch = 0;
+    uint64_t sum_of_branches = 0;
+    for (const SearchStats& s : shard_stats) {
+      *stats += s;
+      slowest_branch = std::max(slowest_branch, s.CriticalDiskReads());
+      sum_of_branches += s.CriticalDiskReads();
+    }
+    // Counters stay sums (deterministic totals); the disk critical path
+    // models the overlap the fan-out actually buys: at most `threads`
+    // branches are in flight at once, so the path is the slowest branch
+    // or the pool-width-limited share of the total, whichever binds. A
+    // one-worker executor degrades to the sequential sum, exactly like
+    // running without an executor.
+    if (executor_ != nullptr && num_shards > 1) {
+      const uint64_t width = executor_->threads();
+      const uint64_t bandwidth_bound = (sum_of_branches + width - 1) / width;
+      stats->critical_disk_reads =
+          std::max(slowest_branch, bandwidth_bound);
     }
   }
   return ToResultList(merged);

@@ -10,6 +10,7 @@
 
 #include "gat/datagen/checkin_generator.h"
 #include "gat/datagen/query_generator.h"
+#include "gat/engine/executor.h"
 #include "gat/engine/query_engine.h"
 #include "gat/engine/work_queue.h"
 #include "gat/index/gat_index.h"
@@ -174,6 +175,60 @@ TEST_F(QueryEngineTest, OwningConstructor) {
   const BatchResult batch = engine.Run(queries_, /*k=*/3, QueryKind::kAtsq);
   EXPECT_EQ(batch.results.size(), queries_.size());
   EXPECT_EQ(batch.threads_used, 2u);
+}
+
+TEST_F(QueryEngineTest, SharedExecutorMatchesOwnedPool) {
+  // EngineOptions::executor: the engine becomes a thin client of an
+  // external pool; answers must not depend on who owns the threads.
+  Executor executor(3);
+  QueryEngine shared(*searcher_, EngineOptions{.executor = &executor});
+  EXPECT_EQ(shared.threads(), 3u);
+  EXPECT_EQ(shared.executor(), &executor);
+  QueryEngine single(*searcher_, EngineOptions{.threads = 1});
+  const BatchResult got = shared.Run(queries_, /*k=*/7, QueryKind::kAtsq);
+  const BatchResult want = single.Run(queries_, /*k=*/7, QueryKind::kAtsq);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(got.results[i], want.results[i]) << "query " << i;
+  }
+}
+
+TEST_F(QueryEngineTest, TwoEnginesPipelineOnOneExecutor) {
+  // Two engines (different k) share one pool from two caller threads —
+  // the cross-batch pipelining shape. Each batch must be bit-identical
+  // to its single-threaded reference.
+  Executor executor(4);
+  QueryEngine a(*searcher_, EngineOptions{.executor = &executor});
+  QueryEngine b(*searcher_, EngineOptions{.executor = &executor});
+  QueryEngine single(*searcher_, EngineOptions{.threads = 1});
+  const BatchResult want_a = single.Run(queries_, /*k=*/3, QueryKind::kAtsq);
+  const BatchResult want_b = single.Run(queries_, /*k=*/8, QueryKind::kOatsq);
+
+  BatchResult got_a, got_b;
+  std::thread caller_a(
+      [&] { got_a = a.Run(queries_, /*k=*/3, QueryKind::kAtsq); });
+  std::thread caller_b(
+      [&] { got_b = b.Run(queries_, /*k=*/8, QueryKind::kOatsq); });
+  caller_a.join();
+  caller_b.join();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    EXPECT_EQ(got_a.results[i], want_a.results[i]) << "batch a, query " << i;
+    EXPECT_EQ(got_b.results[i], want_b.results[i]) << "batch b, query " << i;
+  }
+}
+
+TEST_F(QueryEngineTest, PerQueryLatenciesArePopulated) {
+  QueryEngine pooled(*searcher_, EngineOptions{.threads = 4});
+  const BatchResult batch = pooled.Run(queries_, /*k=*/5, QueryKind::kAtsq);
+  ASSERT_EQ(batch.latencies.size(), queries_.size());
+  uint64_t critical_total = 0;
+  for (const QueryLatency& lat : batch.latencies) {
+    EXPECT_GE(lat.wall_ms, 0.0);
+    critical_total += lat.critical_disk_reads;
+  }
+  // A sequential searcher's critical path is its disk_reads, so the
+  // per-query values must sum to the batch counter exactly.
+  EXPECT_EQ(critical_total, batch.totals.disk_reads);
 }
 
 }  // namespace

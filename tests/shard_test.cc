@@ -12,6 +12,7 @@
 
 #include "gat/datagen/checkin_generator.h"
 #include "gat/datagen/query_generator.h"
+#include "gat/engine/executor.h"
 #include "gat/engine/query_engine.h"
 #include "gat/search/gat_search.h"
 #include "gat/shard/sharded_searcher.h"
@@ -74,6 +75,74 @@ TEST(Partition, MoreShardsThanTrajectoriesLeavesEmptyShards) {
   }
 }
 
+TEST(Partition, EmptyShardsAnswerLikeTheSingleIndex) {
+  // Regression: shards > trajectory count must stay bit-identical to
+  // the monolithic index, sequentially and fanned out on an executor.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(5, 29));
+  const GatIndex single_index(dataset);
+  const GatSearcher single(dataset, single_index);
+  const ShardedIndex sharded(dataset, {}, ShardOptions{.num_shards = 8});
+  Executor executor(4);
+  const ShardedSearcher sequential(sharded);
+  const ShardedSearcher fanned(sharded, {}, &executor);
+  for (const Query& q : TestQueries(dataset, 61, 6)) {
+    for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+      const ResultList want = single.Search(q, 4, kind);
+      ASSERT_EQ(sequential.Search(q, 4, kind), want);
+      ASSERT_EQ(fanned.Search(q, 4, kind), want);
+    }
+  }
+}
+
+TEST(Partition, EmptyParentDatasetBuildsAndAnswersEmpty) {
+  // Regression: an empty dataset has an empty bounding box; every shard
+  // (all empty) must still build a valid index, snapshot-cache, and
+  // answer zero results — never abort in the grid.
+  Dataset empty;
+  empty.Finalize();
+  const std::string dir = ::testing::TempDir() + "/empty_parent_cache";
+  std::filesystem::remove_all(dir);
+  ShardOptions options;
+  options.num_shards = 4;
+  options.snapshot_dir = dir;
+  const ShardedIndex cold(empty, {}, options);
+  EXPECT_EQ(cold.shards_loaded_from_snapshot(), 0u);
+  const ShardedIndex warm(empty, {}, options);
+  EXPECT_EQ(warm.shards_loaded_from_snapshot(), 4u);
+
+  Query q;
+  q.Add(QueryPoint{Point{1.0, 2.0}, {0, 1}});
+  for (const ShardedIndex* index : {&cold, &warm}) {
+    const ShardedSearcher searcher(*index);
+    for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+      EXPECT_TRUE(searcher.Search(q, 3, kind).empty());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Partition, EmptyShardSnapshotsWarmLoad) {
+  // The empty shards of a sparse dataset must round-trip through the
+  // snapshot cache exactly like populated ones.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(3, 23));
+  const std::string dir = ::testing::TempDir() + "/sparse_shard_cache";
+  std::filesystem::remove_all(dir);
+  ShardOptions options;
+  options.num_shards = 8;
+  options.snapshot_dir = dir;
+  const ShardedIndex cold(dataset, {}, options);
+  EXPECT_EQ(cold.shards_loaded_from_snapshot(), 0u);
+  const ShardedIndex warm(dataset, {}, options);
+  EXPECT_EQ(warm.shards_loaded_from_snapshot(), 8u);
+  const ShardedSearcher cold_searcher(cold);
+  const ShardedSearcher warm_searcher(warm);
+  for (const Query& q : TestQueries(dataset, 5, 3)) {
+    ASSERT_EQ(warm_searcher.Search(q, 2, QueryKind::kAtsq),
+              cold_searcher.Search(q, 2, QueryKind::kAtsq));
+  }
+  std::filesystem::remove_all(dir);
+}
+
 class ShardEquivalenceTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(ShardEquivalenceTest, TopKBitIdenticalToSingleIndex) {
@@ -82,20 +151,63 @@ TEST_P(ShardEquivalenceTest, TopKBitIdenticalToSingleIndex) {
   const GatIndex single_index(dataset);
   const GatSearcher single(dataset, single_index);
 
-  const ShardedIndex sharded(dataset, {},
-                             ShardOptions{.num_shards = num_shards});
-  const ShardedSearcher fanned(sharded);
+  // Built on a shared executor, searched both sequentially and with
+  // per-query fan-out on the same pool: all three answers must be
+  // bit-identical.
+  Executor executor(4);
+  const ShardedIndex sharded(
+      dataset, {},
+      ShardOptions{.num_shards = num_shards, .executor = &executor});
+  const ShardedSearcher sequential(sharded);
+  const ShardedSearcher fanned(sharded, {}, &executor);
 
   for (const Query& q : TestQueries(dataset, 123)) {
     for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
       for (const size_t k : {1u, 5u, 9u}) {
         const ResultList want = single.Search(q, k, kind);
-        const ResultList got = fanned.Search(q, k, kind);
         // operator== on SearchResult compares trajectory IDs and exact
         // double distances — bit-identical, not merely epsilon-close.
-        ASSERT_EQ(got, want)
+        ASSERT_EQ(sequential.Search(q, k, kind), want)
             << ToString(kind) << " shards=" << num_shards << " k=" << k;
+        ASSERT_EQ(fanned.Search(q, k, kind), want)
+            << "fan-out " << ToString(kind) << " shards=" << num_shards
+            << " k=" << k;
       }
+    }
+  }
+}
+
+TEST_P(ShardEquivalenceTest, FanOutStatsMatchSequentialVisit) {
+  // The merge happens after the group barrier in shard order, so the
+  // summed counters — and the elapsed_ms summation order — are the same
+  // whether the shards ran inline or as tasks. Only the disk critical
+  // path differs: max over shards when fanned out, sum when sequential.
+  const uint32_t num_shards = GetParam();
+  const Dataset dataset = GenerateCity(CityProfile::Testing(200, 41));
+  Executor executor(4);
+  const ShardedIndex sharded(dataset, {},
+                             ShardOptions{.num_shards = num_shards});
+  const ShardedSearcher sequential(sharded);
+  const ShardedSearcher fanned(sharded, {}, &executor);
+
+  for (const Query& q : TestQueries(dataset, 77, 4)) {
+    SearchStats seq_stats, fan_stats;
+    sequential.Search(q, 5, QueryKind::kAtsq, &seq_stats);
+    fanned.Search(q, 5, QueryKind::kAtsq, &fan_stats);
+    EXPECT_EQ(fan_stats.candidates_retrieved, seq_stats.candidates_retrieved);
+    EXPECT_EQ(fan_stats.tas_pruned, seq_stats.tas_pruned);
+    EXPECT_EQ(fan_stats.distance_computations,
+              seq_stats.distance_computations);
+    EXPECT_EQ(fan_stats.disk_reads, seq_stats.disk_reads);
+    EXPECT_EQ(seq_stats.CriticalDiskReads(), seq_stats.disk_reads);
+    EXPECT_LE(fan_stats.CriticalDiskReads(), fan_stats.disk_reads);
+    if (num_shards > 1) {
+      // The slowest branch can never exceed the sum of all branches and
+      // (for a query that reads at all) is at least 1/num_shards of it.
+      EXPECT_GE(fan_stats.CriticalDiskReads() * num_shards,
+                fan_stats.disk_reads);
+    } else {
+      EXPECT_EQ(fan_stats.CriticalDiskReads(), seq_stats.disk_reads);
     }
   }
 }
@@ -130,6 +242,32 @@ TEST(ShardedSearcher, BatchThroughQueryEngineMatchesSingleIndex) {
   const auto queries = TestQueries(dataset, 321, 16);
   const QueryEngine single_engine(single, EngineOptions{.threads = 1});
   const QueryEngine shard_engine(fanned, EngineOptions{.threads = 4});
+  for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+    const BatchResult want = single_engine.Run(queries, 9, kind);
+    const BatchResult got = shard_engine.Run(queries, 9, kind);
+    ASSERT_EQ(got.results.size(), want.results.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got.results[i], want.results[i]) << "query " << i;
+    }
+  }
+}
+
+TEST(ShardedSearcher, NestedFanOutInsideEngineTasksMatchesSingleIndex) {
+  // The full production shape: engine batch tasks AND per-query shard
+  // tasks on ONE executor — nested submission, no second pool. Answers
+  // must stay bit-identical to the single-threaded monolithic run.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(150, 67));
+  const GatIndex single_index(dataset);
+  const GatSearcher single(dataset, single_index);
+
+  Executor executor(4);
+  const ShardedIndex sharded(
+      dataset, {}, ShardOptions{.num_shards = 4, .executor = &executor});
+  const ShardedSearcher fanned(sharded, {}, &executor);
+
+  const auto queries = TestQueries(dataset, 321, 16);
+  const QueryEngine single_engine(single, EngineOptions{.threads = 1});
+  const QueryEngine shard_engine(fanned, EngineOptions{.executor = &executor});
   for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
     const BatchResult want = single_engine.Run(queries, 9, kind);
     const BatchResult got = shard_engine.Run(queries, 9, kind);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "gat/datagen/checkin_generator.h"
 #include "gat/datagen/query_generator.h"
+#include "gat/engine/executor.h"
 #include "gat/search/gat_search.h"
 
 namespace gat {
@@ -20,6 +22,28 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+// Stand-alone CRC-32 (IEEE), matching snapshot.cc's, so tests can forge
+// a valid checksum over corrupted payload bytes and prove the structural
+// validators reject what the CRC no longer can.
+uint32_t TestCrc32(const char* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+      uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      t[byte] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 std::vector<Query> TestQueries(const Dataset& dataset, uint64_t seed) {
@@ -204,6 +228,134 @@ TEST(Snapshot, BitCorruptionAnywhereIsRejected) {
     EXPECT_EQ(LoadSnapshot(mutated), nullptr) << "byte " << pos << " flipped";
   }
   std::remove(mutated.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ExecutorLoadIsBitIdenticalToSequentialLoad) {
+  // 300 trajectories puts the APL past the parallel-validation row
+  // threshold, so the executor path actually fans out.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(300, 47));
+  const GatIndex built(dataset, GatConfig{.depth = 5, .memory_levels = 3});
+  const std::string path = TempPath("executor_load.gats");
+  ASSERT_TRUE(SaveSnapshot(built, path));
+
+  Executor executor(4);
+  const auto sequential = LoadSnapshot(path);
+  const auto parallel = LoadSnapshot(path, nullptr, 0, &executor);
+  ASSERT_NE(sequential, nullptr);
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_EQ(parallel->memory_breakdown().MainMemoryTotal(),
+            sequential->memory_breakdown().MainMemoryTotal());
+
+  const GatSearcher a(dataset, *sequential);
+  const GatSearcher b(dataset, *parallel);
+  for (const Query& q : TestQueries(dataset, 99)) {
+    for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
+      SearchStats sa, sb;
+      ASSERT_EQ(a.Search(q, 9, kind, &sa), b.Search(q, 9, kind, &sb));
+      EXPECT_EQ(sb.candidates_retrieved, sa.candidates_retrieved);
+      EXPECT_EQ(sb.disk_reads, sa.disk_reads);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptionRejectedThroughExecutorPathToo) {
+  // Bit flips and truncations must load as nullptr no matter which
+  // validation path runs — a parallel load may never out-race a reject.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(300, 53));
+  const GatIndex index(dataset, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("executor_corrupt.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  Executor executor(4);
+  const std::string mutated = TempPath("executor_mutated.gats");
+  for (size_t pos = 0; pos < bytes.size(); pos += 257) {
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x5C);
+    {
+      std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+      out.write(copy.data(), copy.size());
+    }
+    EXPECT_EQ(LoadSnapshot(mutated, nullptr, 0, &executor), nullptr)
+        << "byte " << pos << " flipped";
+  }
+  for (const size_t cut : {size_t{20}, bytes.size() / 2, bytes.size() - 3}) {
+    std::ofstream out(mutated, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_EQ(LoadSnapshot(mutated, nullptr, 0, &executor), nullptr)
+        << "prefix of " << cut << " bytes";
+  }
+  std::remove(mutated.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ForgedChecksumNeverChangesTheDecisionParity) {
+  // An attacker (or a very unlucky disk) can corrupt a payload byte AND
+  // re-stamp a matching CRC. Structural validation is then the only
+  // line of defense; some flips are benign (stored byte counters), but
+  // whatever the sequential loader decides, the executor-parallel
+  // loader must decide identically — and neither may crash or hand out
+  // an index that fails its own invariants.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(300, 59));
+  const GatIndex index(dataset, GatConfig{.depth = 4, .memory_levels = 2});
+  const std::string path = TempPath("forged.gats");
+  ASSERT_TRUE(SaveSnapshot(index, path));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  constexpr size_t kHeaderBytes = 12;
+  ASSERT_GT(bytes.size(), kHeaderBytes + 64);
+
+  Executor executor(4);
+  const std::string forged = TempPath("forged_mutated.gats");
+  size_t rejected = 0, accepted = 0;
+  for (size_t pos = kHeaderBytes; pos < bytes.size(); pos += 211) {
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x5C);
+    const uint32_t crc =
+        TestCrc32(copy.data() + kHeaderBytes, copy.size() - kHeaderBytes);
+    copy.replace(8, 4, reinterpret_cast<const char*>(&crc), 4);
+    {
+      std::ofstream out(forged, std::ios::binary | std::ios::trunc);
+      out.write(copy.data(), copy.size());
+    }
+    const auto sequential = LoadSnapshot(forged);
+    const auto parallel = LoadSnapshot(forged, nullptr, 0, &executor);
+    ASSERT_EQ(sequential == nullptr, parallel == nullptr)
+        << "decision diverged at byte " << pos;
+    (sequential == nullptr ? rejected : accepted) += 1;
+  }
+  // The sweep must have hit real structural damage, not only benign
+  // counter bytes — otherwise this test proves nothing.
+  EXPECT_GT(rejected, 0u);
+  std::remove(forged.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EmptyIndexRoundTrips) {
+  // An empty dataset builds a valid index over the fallback grid space;
+  // its snapshot must round-trip (the empty-shard warm-start path).
+  Dataset empty;
+  empty.Finalize();
+  const GatIndex built(empty);
+  const std::string path = TempPath("empty.gats");
+  ASSERT_TRUE(SaveSnapshot(built, path, DatasetFingerprint(empty)));
+  const auto loaded =
+      LoadSnapshot(path, nullptr, DatasetFingerprint(empty));
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config(), built.config());
   std::remove(path.c_str());
 }
 
