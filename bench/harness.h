@@ -46,6 +46,7 @@
 #include "gat/index/gat_index.h"
 #include "gat/model/dataset_stats.h"
 #include "gat/search/gat_search.h"
+#include "gat/storage/prefetch.h"
 #include "gat/util/stopwatch.h"
 
 namespace gat::bench {
@@ -227,6 +228,14 @@ struct Measurement {
   double rsd_pct = 0.0;      ///< relative stddev of the repeat timings
   uint32_t repeats = 0;      ///< timed batches actually run
   uint32_t threads = 1;      ///< QueryEngine workers used
+  /// Block-cache observability (mmap disk tier only): block size of the
+  /// cache behind the measured searcher, and the blocks the prefetch
+  /// sweep warmed during the last timed batch. `has_cache` gates the
+  /// cache fields in the JSON record; the per-query block counters
+  /// (`totals.block_hits` / `totals.blocks_read`) ride along either way.
+  bool has_cache = false;
+  uint32_t cache_block_bytes = 0;
+  uint64_t prefetched_blocks = 0;
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
@@ -246,10 +255,13 @@ inline double PercentileMs(const std::vector<double>& sorted, double p) {
 /// page/record fetch the method performed.
 inline Measurement MeasureWorkload(const Searcher& searcher,
                                    const std::vector<Query>& queries, size_t k,
-                                   QueryKind kind, const BenchProtocol& proto) {
+                                   QueryKind kind, const BenchProtocol& proto,
+                                   const PrefetchScheduler* prefetcher =
+                                       nullptr) {
   Measurement m;
   if (queries.empty()) return m;
-  QueryEngine engine(searcher, EngineOptions{.threads = proto.threads});
+  QueryEngine engine(searcher, EngineOptions{.threads = proto.threads,
+                                             .prefetcher = prefetcher});
   m.threads = engine.threads();
 
   for (uint32_t w = 0; w < proto.warmup; ++w) {
@@ -285,6 +297,11 @@ inline Measurement MeasureWorkload(const Searcher& searcher,
     }
     // Counters are deterministic across repeats; keep the last batch's.
     m.totals = batch.totals;
+    if (batch.storage.present) {
+      m.has_cache = true;
+      m.cache_block_bytes = batch.storage.block_bytes;
+      m.prefetched_blocks = batch.storage.prefetched;
+    }
     if (batch_ms.size() >= 2) {
       m.rsd_pct = rsd_of(batch_ms);
       if (m.rsd_pct <= proto.target_rsd_pct) break;
@@ -348,6 +365,15 @@ class BenchReport {
     rec.p99_ms = m.p99_ms;
     rec.has_latency = true;
     rec.shards = shards;
+    // Emit the block fields whenever there was block traffic, not only
+    // when a cache-backed prefetcher reported its block size — a bench
+    // driving a mapped searcher without a prefetcher still wants its
+    // blocks_read gated (block_size then reads 0 = "not reported").
+    rec.has_cache = m.has_cache || m.totals.block_hits + m.totals.blocks_read > 0;
+    rec.block_size = m.cache_block_bytes;
+    rec.block_hits = m.totals.block_hits;
+    rec.blocks_read = m.totals.blocks_read;
+    rec.prefetched_blocks = m.prefetched_blocks;
     records_.push_back(std::move(rec));
   }
 
@@ -412,6 +438,20 @@ class BenchReport {
                      r.p50_ms, r.p95_ms, r.p99_ms);
       }
       if (r.shards > 0) std::fprintf(f, ", \"shards\": %u", r.shards);
+      if (r.has_cache) {
+        // Block-cache fields (mmap disk tier): `blocks_read` is the
+        // demand misses of the last timed batch — deterministic at
+        // --threads 1, interleaving-dependent above (bench_diff.py
+        // gates accordingly); `cache_hit_rate` = hits / lookups.
+        const double hit_rate =
+            CacheHitRate(r.block_hits, r.block_hits + r.blocks_read);
+        std::fprintf(f,
+                     ", \"block_size\": %u, \"blocks_read\": %llu, "
+                     "\"cache_hit_rate\": %.6f, \"prefetched_blocks\": %llu",
+                     r.block_size,
+                     static_cast<unsigned long long>(r.blocks_read), hit_rate,
+                     static_cast<unsigned long long>(r.prefetched_blocks));
+      }
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -438,6 +478,11 @@ class BenchReport {
     double p99_ms = 0.0;
     bool has_latency = false;  // AddRaw points have no per-query sample
     uint32_t shards = 0;       // 0 = not a sharded measurement
+    bool has_cache = false;    // block-cache fields below are meaningful
+    uint32_t block_size = 0;
+    uint64_t block_hits = 0;
+    uint64_t blocks_read = 0;
+    uint64_t prefetched_blocks = 0;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -17,6 +17,15 @@ Implements the comparison rules of docs/BENCH_PROTOCOL.md:
     drifts: counters are scheduling-independent, so any change is a
     behavioral change, not noise (``--allow-counter-drift`` downgrades
     this to a warning for PRs that intentionally change the algorithm).
+  * Block-cache fields (storage benches): records carrying a
+    ``block_size`` must agree on it — block granularity defines what a
+    ``blocks_read`` means, so a mismatch is refused like a protocol
+    mismatch. ``blocks_read`` is deterministic only when the access
+    sequence is (single-threaded, equal warmup and repeat counts): it
+    is gated as a counter at ``protocol.threads == 1`` with equal
+    ``protocol.warmup`` and ``repeats``, and advisory (>10% drift
+    warns) otherwise. ``cache_hit_rate`` drift
+    beyond 2 points warns (advisory at any thread count).
   * Fails (exit 1) when ``avg_ms_per_query`` — or, when both sides
     carry it, the per-query ``p95_ms`` latency — regresses by more than
     ``--max-regress-pct`` (default 15) on any record present in both
@@ -141,6 +150,55 @@ def main():
             refuse(f"{name}: shards differs ({o['shards']} vs "
                    f"{n['shards']}); per-shard work scales with the "
                    "partition, so the records are not comparable")
+
+        # Same record, different cache-block granularity: blocks_read
+        # and cache_hit_rate count different units — refuse. block_size
+        # 0 means "not reported" (a mapped searcher measured without a
+        # cache-reporting prefetcher) and is treated as absent.
+        bs_old, bs_new = o.get("block_size", 0), n.get("block_size", 0)
+        if bs_old and bs_new and bs_old != bs_new:
+            refuse(f"{name}: block_size differs ({bs_old} vs {bs_new}); "
+                   "block-granular counters are not comparable across "
+                   "block sizes")
+
+        # blocks_read: a deterministic counter only when the block
+        # access sequence is — single-threaded and the same number of
+        # warmup and timed batches (the field reports the last batch,
+        # whose cache starting state depends on every batch before it).
+        # (A count at unknown granularity — block_size 0 on either side
+        # — can only be compared advisorily.)
+        if "blocks_read" in o and "blocks_read" in n:
+            deterministic = (old["protocol"].get("threads") == 1
+                             and old["protocol"].get("warmup")
+                             == new["protocol"].get("warmup")
+                             and o.get("repeats") == n.get("repeats")
+                             and bool(bs_old) and bool(bs_new))
+            if o["blocks_read"] != n["blocks_read"]:
+                message = (f"{name}: blocks_read {o['blocks_read']} -> "
+                           f"{n['blocks_read']}")
+                if deterministic:
+                    if args.allow_counter_drift:
+                        warnings.append(message + " (deterministic counter "
+                                        "drift waived by "
+                                        "--allow-counter-drift)")
+                    else:
+                        failures.append(message + " (deterministic at "
+                                        "threads=1 + equal repeats = "
+                                        "behavioral change)")
+                else:
+                    drift = (abs(n["blocks_read"] - o["blocks_read"])
+                             / max(o["blocks_read"], 1))
+                    if drift > 0.10:
+                        warnings.append(message + " (advisory: block "
+                                        "sequence not deterministic "
+                                        "across these runs)")
+
+        if "cache_hit_rate" in o and "cache_hit_rate" in n:
+            delta = n["cache_hit_rate"] - o["cache_hit_rate"]
+            if abs(delta) > 0.02:
+                warnings.append(f"{name}: cache_hit_rate "
+                                f"{o['cache_hit_rate']:.4f} -> "
+                                f"{n['cache_hit_rate']:.4f} (advisory)")
 
         for field in COUNTER_FIELDS:
             # Compare only fields both sides carry (append-only schema:

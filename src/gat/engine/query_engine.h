@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "gat/common/storage_tier.h"
 #include "gat/core/result_set.h"
 #include "gat/core/searcher.h"
 #include "gat/engine/executor.h"
@@ -12,6 +13,8 @@
 #include "gat/search/search_stats.h"
 
 namespace gat {
+
+class PrefetchScheduler;  // gat/storage/prefetch.h; engine holds a pointer
 
 /// QueryEngine knobs.
 struct EngineOptions {
@@ -24,6 +27,29 @@ struct EngineOptions {
   /// outlive the engine). The way a serving process runs query batches,
   /// shard fan-out and index rebuilds on one thread set.
   Executor* executor = nullptr;
+
+  /// Warm the disk tier for each batch ahead of refinement (non-owning;
+  /// must outlive the engine). With an executor the sweep is submitted
+  /// as tasks *before* the batch's search tasks, overlapping prefetch
+  /// I/O of later queries with the search of earlier ones; inline
+  /// engines run it before the batch loop. nullptr = no prefetch.
+  const PrefetchScheduler* prefetcher = nullptr;
+};
+
+/// Block-cache activity observed across one batch (deltas of the
+/// prefetcher's cache around `Run`). Diagnostic: when several batches
+/// share one cache concurrently, their deltas interleave.
+struct BatchStorageStats {
+  /// False when the engine has no prefetcher or the prefetcher has no
+  /// cache (simulated tier) — the other fields are then meaningless.
+  bool present = false;
+  uint32_t block_bytes = 0;
+  uint64_t hits = 0;        ///< demand lookups served by the cache
+  uint64_t misses = 0;      ///< demand lookups that did real block reads
+  uint64_t evictions = 0;
+  uint64_t prefetched = 0;  ///< blocks warmed by the prefetch sweep
+
+  double HitRate() const { return CacheHitRate(hits, hits + misses); }
 };
 
 /// Wall-clock cost of one query as the engine observed it.
@@ -60,6 +86,10 @@ struct BatchResult {
 
   /// Engine parallelism the batch was submitted with.
   uint32_t threads_used = 1;
+
+  /// Block-cache deltas around this batch (present only with a
+  /// cache-backed prefetcher; see BatchStorageStats).
+  BatchStorageStats storage;
 };
 
 /// Executes batches of queries over one Searcher as task groups on an
@@ -125,6 +155,7 @@ class QueryEngine {
   uint32_t threads_;
   std::unique_ptr<Executor> owned_executor_;  // null when shared or inline
   Executor* executor_ = nullptr;              // null when threads_ == 1
+  const PrefetchScheduler* prefetcher_ = nullptr;  // null = no prefetch
 };
 
 }  // namespace gat

@@ -6,7 +6,7 @@
 namespace gat {
 
 Apl::Apl(const Dataset& dataset) {
-  per_trajectory_.resize(dataset.size());
+  owned_.resize(dataset.size());
   for (TrajectoryId t = 0; t < dataset.size(); ++t) {
     const auto& tr = dataset.trajectory(t);
     // Ordered map keeps activities sorted; point indices arrive ascending.
@@ -14,7 +14,7 @@ Apl::Apl(const Dataset& dataset) {
     for (PointIndex i = 0; i < tr.size(); ++i) {
       for (ActivityId a : tr[i].activities) lists[a].push_back(i);
     }
-    auto& tp = per_trajectory_[t];
+    auto& tp = owned_[t];
     tp.offsets.push_back(0);
     for (auto& [a, pts] : lists) {
       tp.activities.push_back(a);
@@ -25,13 +25,34 @@ Apl::Apl(const Dataset& dataset) {
                    tp.offsets.size() * sizeof(uint32_t) +
                    tp.points.size() * sizeof(PointIndex);
   }
+  RebuildViews();
+}
+
+void Apl::RebuildViews() {
+  rows_.clear();
+  rows_.reserve(owned_.size());
+  for (const auto& tp : owned_) {
+    RowView row;
+    row.activities = {tp.activities.data(), tp.activities.size()};
+    row.offsets = {tp.offsets.data(), tp.offsets.size()};
+    row.points = {tp.points.data(), tp.points.size()};
+    row.tier_bytes = tp.activities.size() * sizeof(ActivityId) +
+                     tp.offsets.size() * sizeof(uint32_t) +
+                     tp.points.size() * sizeof(PointIndex);
+    rows_.push_back(row);
+  }
 }
 
 std::span<const PointIndex> Apl::Postings(TrajectoryId t, ActivityId activity,
                                           DiskAccessCounter* disk) const {
-  if (disk != nullptr) disk->RecordRead();
-  if (t >= per_trajectory_.size()) return {};
-  const auto& tp = per_trajectory_[t];
+  // Charge-then-check, like the seed: a probe of a nonexistent row is
+  // still one (fruitless) fetch.
+  if (t >= rows_.size()) {
+    tier_->Fetch(0, 0, disk);
+    return {};
+  }
+  const RowView& tp = rows_[t];
+  tier_->Fetch(tp.tier_offset, tp.tier_bytes, disk);
   const auto it =
       std::lower_bound(tp.activities.begin(), tp.activities.end(), activity);
   if (it == tp.activities.end() || *it != activity) return {};
@@ -43,19 +64,31 @@ std::span<const PointIndex> Apl::Postings(TrajectoryId t, ActivityId activity,
 bool Apl::HasAllActivities(TrajectoryId t,
                            const std::vector<ActivityId>& activities,
                            DiskAccessCounter* disk) const {
-  if (disk != nullptr) disk->RecordRead();
-  if (t >= per_trajectory_.size()) return activities.empty();
-  const auto& tp = per_trajectory_[t];
+  if (t >= rows_.size()) {
+    tier_->Fetch(0, 0, disk);
+    return activities.empty();
+  }
+  const RowView& tp = rows_[t];
+  tier_->Fetch(tp.tier_offset, tp.tier_bytes, disk);
   return std::includes(tp.activities.begin(), tp.activities.end(),
                        activities.begin(), activities.end());
 }
 
 std::span<const ActivityId> Apl::ActivitiesOf(TrajectoryId t,
                                               DiskAccessCounter* disk) const {
-  if (disk != nullptr) disk->RecordRead();
-  if (t >= per_trajectory_.size()) return {};
-  const auto& tp = per_trajectory_[t];
-  return {tp.activities.data(), tp.activities.data() + tp.activities.size()};
+  if (t >= rows_.size()) {
+    tier_->Fetch(0, 0, disk);
+    return {};
+  }
+  const RowView& tp = rows_[t];
+  tier_->Fetch(tp.tier_offset, tp.tier_bytes, disk);
+  return tp.activities;
+}
+
+void Apl::PrefetchRow(TrajectoryId t) const {
+  if (t >= rows_.size()) return;
+  const RowView& tp = rows_[t];
+  tier_->Prefetch(tp.tier_offset, tp.tier_bytes);
 }
 
 }  // namespace gat

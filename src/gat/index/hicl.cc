@@ -12,9 +12,9 @@ Hicl::Hicl(int depth, int memory_levels,
     : depth_(depth), memory_levels_(memory_levels) {
   GAT_CHECK(depth >= 1);
   GAT_CHECK(memory_levels >= 0 && memory_levels <= depth);
-  per_activity_.resize(leaf_cells_per_activity.size());
+  owned_.resize(leaf_cells_per_activity.size());
   for (size_t a = 0; a < leaf_cells_per_activity.size(); ++a) {
-    auto& lists = per_activity_[a];
+    auto& lists = owned_[a];
     lists.cells.resize(depth_);
     auto& leaf = leaf_cells_per_activity[a];
     std::sort(leaf.begin(), leaf.end());
@@ -40,20 +40,39 @@ Hicl::Hicl(int depth, int memory_levels,
       }
     }
   }
+  RebuildViews();
+}
+
+void Hicl::RebuildViews() {
+  num_activities_ = static_cast<uint32_t>(owned_.size());
+  views_.clear();
+  views_.resize(static_cast<size_t>(num_activities_) *
+                static_cast<size_t>(depth_));
+  for (size_t a = 0; a < owned_.size(); ++a) {
+    for (int level = 1; level <= depth_; ++level) {
+      const auto& cells = owned_[a].cells[level - 1];
+      LevelView& view = views_[a * static_cast<size_t>(depth_) + (level - 1)];
+      view.cells = {cells.data(), cells.size()};
+      view.tier_bytes = cells.size() * sizeof(uint32_t);
+    }
+  }
 }
 
 bool Hicl::Contains(ActivityId a, int level, uint32_t code,
                     DiskAccessCounter* disk) const {
-  const auto& cells = CellsAt(a, level, disk);
+  const auto cells = CellsAt(a, level, disk);
   return std::binary_search(cells.begin(), cells.end(), code);
 }
 
-const std::vector<uint32_t>& Hicl::CellsAt(ActivityId a, int level,
-                                           DiskAccessCounter* disk) const {
+std::span<const uint32_t> Hicl::CellsAt(ActivityId a, int level,
+                                        DiskAccessCounter* disk) const {
   GAT_DCHECK(level >= 1 && level <= depth_);
-  if (a >= per_activity_.size()) return empty_;
-  if (level > memory_levels_ && disk != nullptr) disk->RecordRead();
-  return per_activity_[a].cells[level - 1];
+  if (a >= num_activities_) return {};
+  const LevelView& view = ViewAt(a, level);
+  if (level > memory_levels_ && disk != nullptr) {
+    tier_->Fetch(view.tier_offset, view.tier_bytes, disk);
+  }
+  return view.cells;
 }
 
 std::vector<uint32_t> Hicl::CellsWithAny(
@@ -61,7 +80,7 @@ std::vector<uint32_t> Hicl::CellsWithAny(
     DiskAccessCounter* disk) const {
   std::vector<uint32_t> out;
   for (ActivityId a : activities) {
-    const auto& cells = CellsAt(a, level, disk);
+    const auto cells = CellsAt(a, level, disk);
     out.insert(out.end(), cells.begin(), cells.end());
   }
   std::sort(out.begin(), out.end());

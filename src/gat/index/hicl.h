@@ -2,14 +2,17 @@
 #define GAT_INDEX_HICL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gat/common/storage_tier.h"
 #include "gat/common/types.h"
+#include "gat/storage/disk_tier.h"
 
 namespace gat {
 
 struct SnapshotIo;
+struct MappedSnapshotIo;
 
 /// Hierarchical Inverted Cell List (Section IV, component i).
 ///
@@ -21,8 +24,11 @@ struct SnapshotIo;
 /// Storage tiers follow the paper: levels 1..memory_levels are main-memory
 /// resident; deeper levels are disk-resident (`h = log4(3B/4C + 1)` for
 /// budget B and vocabulary size C — we expose `MemoryLevelsForBudget` for
-/// that formula and let callers pick). Queries against disk levels bump the
-/// supplied DiskAccessCounter.
+/// that formula and let callers pick). Queries against disk levels fetch
+/// the list through the attached `DiskTier` (one logical read charged to
+/// the supplied DiskAccessCounter; block I/O under an mmap-backed tier).
+/// Like `Apl`, the read path is uniform over owned vectors (built /
+/// stream-deserialized) and zero-copy spans into a snapshot mapping.
 class Hicl {
  public:
   /// `leaf_cells_per_activity[a]` = sorted unique leaf Morton codes where
@@ -32,17 +38,15 @@ class Hicl {
 
   int depth() const { return depth_; }
   int memory_levels() const { return memory_levels_; }
-  uint32_t num_activities() const {
-    return static_cast<uint32_t>(per_activity_.size());
-  }
+  uint32_t num_activities() const { return num_activities_; }
 
   /// Does cell (level, code) contain activity `a` anywhere inside it?
   bool Contains(ActivityId a, int level, uint32_t code,
                 DiskAccessCounter* disk = nullptr) const;
 
   /// Sorted level-`level` cell codes containing activity `a`.
-  const std::vector<uint32_t>& CellsAt(ActivityId a, int level,
-                                       DiskAccessCounter* disk = nullptr) const;
+  std::span<const uint32_t> CellsAt(ActivityId a, int level,
+                                    DiskAccessCounter* disk = nullptr) const;
 
   /// Sorted unique union of level-`level` cells containing any activity in
   /// `activities` — the seeding set of the candidate-retrieval search.
@@ -60,6 +64,9 @@ class Hicl {
   size_t MemoryBytes() const { return memory_bytes_; }
   size_t DiskBytes() const { return disk_bytes_; }
 
+  /// The tier disk-level lists are read through.
+  const DiskTier& disk_tier() const { return *tier_; }
+
   /// The paper's memory-budget formula: largest h with sum_{i=1..h} 4^i * C
   /// <= budget_bytes / 4 (each cell-id costs 4 bytes), i.e. the number of
   /// grid levels whose *worst-case* inverted cell lists fit in the budget.
@@ -67,20 +74,42 @@ class Hicl {
                                    int depth);
 
  private:
-  friend struct SnapshotIo;  // snapshot.cc reads/writes the private state
-  Hicl() = default;          // only for snapshot loading
+  friend struct SnapshotIo;        // stream snapshot save/load
+  friend struct MappedSnapshotIo;  // zero-copy mmap load
+  Hicl() = default;                // only for snapshot loading
 
   struct ActivityLists {
     /// cells[l-1] = sorted codes at level l.
     std::vector<std::vector<uint32_t>> cells;
   };
 
+  /// Read-path view of one (activity, level) list, with its byte extent
+  /// for the disk tier (meaningful for disk levels only).
+  struct LevelView {
+    std::span<const uint32_t> cells;
+    uint64_t tier_offset = 0;
+    uint64_t tier_bytes = 0;
+  };
+
+  const LevelView& ViewAt(ActivityId a, int level) const {
+    return views_[static_cast<size_t>(a) * static_cast<size_t>(depth_) +
+                  static_cast<size_t>(level - 1)];
+  }
+
+  /// Rebuilds `views_` over `owned_` (after build/deserialize).
+  void RebuildViews();
+
   int depth_ = 0;
   int memory_levels_ = 0;
-  std::vector<ActivityLists> per_activity_;
+  uint32_t num_activities_ = 0;
+  /// Heap storage. Built/stream-loaded: every level. Mmap-served: the
+  /// memory levels only (they deserialize per the paper's tier split);
+  /// disk-level vectors stay empty, their views point into the mapping.
+  std::vector<ActivityLists> owned_;
+  std::vector<LevelView> views_;  // a * depth + (level - 1)
+  const DiskTier* tier_ = SimulatedDiskTier::Instance();
   size_t memory_bytes_ = 0;
   size_t disk_bytes_ = 0;
-  std::vector<uint32_t> empty_;
 };
 
 }  // namespace gat

@@ -3,13 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -19,6 +19,8 @@
 #include "gat/index/grid.h"
 #include "gat/index/hicl.h"
 #include "gat/index/itl.h"
+#include "gat/index/snapshot_format.h"
+#include "gat/index/snapshot_validate.h"
 #include "gat/index/tas.h"
 #include "gat/model/binary_io.h"
 #include "gat/util/stopwatch.h"
@@ -26,50 +28,18 @@
 namespace gat {
 namespace {
 
-constexpr char kMagic[4] = {'G', 'A', 'T', 'S'};
-constexpr uint32_t kVersion = 1;
-// magic + version + payload CRC32.
-constexpr size_t kHeaderBytes = 12;
-
-// Section tags (4 ASCII bytes each) so a reader that goes out of sync
-// fails on the next tag instead of misinterpreting the stream.
-constexpr char kTagGrid[4] = {'G', 'R', 'I', 'D'};
-constexpr char kTagHicl[4] = {'H', 'I', 'C', 'L'};
-constexpr char kTagItl[4] = {'I', 'T', 'L', '_'};
-constexpr char kTagTas[4] = {'T', 'A', 'S', '_'};
-constexpr char kTagApl[4] = {'A', 'P', 'L', '_'};
-constexpr char kTagEnd[4] = {'D', 'O', 'N', 'E'};
-
-/// CRC-32 (IEEE 802.3, table-driven). The header carries the payload
-/// checksum so any bit corruption — not just truncation — fails the load
-/// instead of producing a subtly different index. Table lookup keeps the
-/// verify pass from dominating warm-start time on large snapshots.
-const uint32_t* Crc32Table() {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t byte = 0; byte < 256; ++byte) {
-      uint32_t crc = byte;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
-      }
-      t[byte] = crc;
-    }
-    return t;
-  }();
-  return table.data();
-}
-
-uint32_t Crc32Update(uint32_t crc, const char* data, size_t size) {
-  const uint32_t* table = Crc32Table();
-  for (size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF];
-  }
-  return crc;
-}
-
-uint32_t Crc32(const char* data, size_t size) {
-  return Crc32Update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
-}
+using snapshot_format::Crc32Update;
+using snapshot_format::kHeaderBytes;
+using snapshot_format::kMagic;
+using snapshot_format::kTagApl;
+using snapshot_format::kTagEnd;
+using snapshot_format::kTagGrid;
+using snapshot_format::kTagHicl;
+using snapshot_format::kTagItl;
+using snapshot_format::kTagTas;
+using snapshot_format::kVersion;
+using snapshot_validate::OffsetsValid;
+using snapshot_validate::ValidateRows;
 
 /// Streaming CRC of the next `size` bytes of `in` (chunked; no payload
 /// copy). Returns false on a short read.
@@ -123,11 +93,16 @@ bool ExpectTag(std::istream& in, const char (&tag)[4]) {
 
 /// Trivially-copyable element vectors are stored as u64 count + raw bytes.
 template <typename T>
-void WriteVec(std::ostream& out, const std::vector<T>& v) {
+void WriteVec(std::ostream& out, std::span<const T> v) {
   WritePod(out, static_cast<uint64_t>(v.size()));
   if (!v.empty()) {
     out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
   }
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WriteVec(out, std::span<const T>{v.data(), v.size()});
 }
 
 /// `max_bytes` (the payload size) caps the element count so a corrupt or
@@ -143,58 +118,6 @@ bool ReadVec(std::istream& in, std::vector<T>* v, uint64_t max_bytes) {
     in.read(reinterpret_cast<char*>(v->data()), count * sizeof(T));
   }
   return in.good();
-}
-
-/// Structural check shared by the ITL / APL posting layouts and the TAS
-/// offset table: `offsets` must be [0, ..., payload_size] and
-/// non-decreasing, with one extra entry over `keys`. A snapshot failing
-/// this would hand out-of-range spans to the searchers.
-bool OffsetsValid(const std::vector<uint32_t>& offsets, size_t num_keys,
-                  size_t payload_size) {
-  if (offsets.size() != num_keys + 1) return false;
-  if (offsets.front() != 0 ||
-      offsets.back() != static_cast<uint32_t>(payload_size)) {
-    return false;
-  }
-  return std::is_sorted(offsets.begin(), offsets.end());
-}
-
-/// Rows below this count validate inline: the task-submission overhead
-/// would exceed the per-row sorted/bounds checks being fanned out.
-constexpr size_t kParallelValidateMinRows = 256;
-
-/// Runs `row_ok(i)` over every row, fanned out in contiguous chunks on
-/// `executor` when one is given and the section is big enough to pay for
-/// it. Row checks are independent reads of already-loaded vectors, so
-/// the only shared state is the sticky failure flag. Returns true iff
-/// every row passes — the same decision the inline loop makes.
-bool ValidateRows(Executor* executor, size_t rows,
-                  const std::function<bool(size_t)>& row_ok) {
-  if (executor == nullptr || executor->threads() <= 1 ||
-      rows < kParallelValidateMinRows) {
-    for (size_t i = 0; i < rows; ++i) {
-      if (!row_ok(i)) return false;
-    }
-    return true;
-  }
-  const size_t chunks = std::min<size_t>(executor->threads(), rows);
-  const size_t per_chunk = (rows + chunks - 1) / chunks;
-  std::atomic<bool> ok{true};
-  TaskGroup group(*executor);
-  for (size_t begin = 0; begin < rows; begin += per_chunk) {
-    const size_t end = std::min(rows, begin + per_chunk);
-    group.Submit([&ok, &row_ok, begin, end] {
-      for (size_t i = begin; i < end; ++i) {
-        if (!ok.load(std::memory_order_relaxed)) return;  // already doomed
-        if (!row_ok(i)) {
-          ok.store(false, std::memory_order_relaxed);
-          return;
-        }
-      }
-    });
-  }
-  group.Wait();
-  return ok.load();
 }
 
 }  // namespace
@@ -277,7 +200,7 @@ struct SnapshotIo {
     // a candidate must have a TAS row and an APL row — otherwise a load
     // would succeed but the first query would index out of bounds.
     const uint64_t rows = index->tas_->num_trajectories();
-    if (index->apl_->per_trajectory_.size() != rows) return nullptr;
+    if (index->apl_->num_trajectories() != rows) return nullptr;
     if (itl_rows_required > rows) return nullptr;
     return index;
   }
@@ -292,9 +215,14 @@ struct SnapshotIo {
     WriteTag(out, kTagHicl);
     WritePod(out, static_cast<uint64_t>(hicl.memory_bytes_));
     WritePod(out, static_cast<uint64_t>(hicl.disk_bytes_));
-    WritePod(out, static_cast<uint64_t>(hicl.per_activity_.size()));
-    for (const auto& lists : hicl.per_activity_) {
-      for (const auto& level_cells : lists.cells) WriteVec(out, level_cells);
+    WritePod(out, static_cast<uint64_t>(hicl.num_activities_));
+    // Written through the views so a mapped index (owned_ empty, lists
+    // served from the file mapping) snapshots byte-identically to a
+    // built one.
+    for (uint32_t a = 0; a < hicl.num_activities_; ++a) {
+      for (int level = 1; level <= hicl.depth_; ++level) {
+        WriteVec(out, hicl.ViewAt(a, level).cells);
+      }
     }
   }
 
@@ -307,17 +235,22 @@ struct SnapshotIo {
     hicl->depth_ = config.depth;
     hicl->memory_levels_ = config.memory_levels;
     uint64_t memory_bytes = 0, disk_bytes = 0, num_activities = 0;
+    // Every activity stores `depth` vectors of >= 8 bytes (the count
+    // word), so any honest count satisfies this bound — and a forged
+    // one fails before the resize can over-allocate.
     if (!ReadPod(in, &memory_bytes) || !ReadPod(in, &disk_bytes) ||
-        !ReadPod(in, &num_activities) || num_activities > payload_size) {
+        !ReadPod(in, &num_activities) ||
+        num_activities >
+            payload_size / (8u * static_cast<uint32_t>(config.depth))) {
       return nullptr;
     }
     hicl->memory_bytes_ = memory_bytes;
     hicl->disk_bytes_ = disk_bytes;
-    hicl->per_activity_.resize(num_activities);
+    hicl->owned_.resize(num_activities);
     // Deserialize sequentially (the stream is one cursor), then validate
     // the rows fanned out: the sorted/bounds sweeps dominate warm-start
     // CPU on large snapshots and are independent per activity.
-    for (auto& lists : hicl->per_activity_) {
+    for (auto& lists : hicl->owned_) {
       lists.cells.resize(config.depth);
       for (int level = 1; level <= config.depth; ++level) {
         if (!ReadVec(in, &lists.cells[level - 1], payload_size)) {
@@ -326,8 +259,8 @@ struct SnapshotIo {
       }
     }
     const bool rows_ok = ValidateRows(
-        executor, hicl->per_activity_.size(), [&hicl, &config](size_t row) {
-          const auto& lists = hicl->per_activity_[row];
+        executor, hicl->owned_.size(), [&hicl, &config](size_t row) {
+          const auto& lists = hicl->owned_[row];
           for (int level = 1; level <= config.depth; ++level) {
             const auto& level_cells = lists.cells[level - 1];
             // Contains() binary-searches these lists; codes must be
@@ -341,7 +274,9 @@ struct SnapshotIo {
           }
           return true;
         });
-    return rows_ok ? std::move(hicl) : nullptr;
+    if (!rows_ok) return nullptr;
+    hicl->RebuildViews();
+    return hicl;
   }
 
   // ------------------------------------------------------------------- ITL
@@ -370,8 +305,9 @@ struct SnapshotIo {
     if (!ExpectTag(in, kTagItl)) return nullptr;
     std::unique_ptr<Itl> itl(new Itl());
     uint64_t memory_bytes = 0, num_cells = 0;
+    // Per cell: a 4-byte code plus three 8-byte count words, minimum.
     if (!ReadPod(in, &memory_bytes) || !ReadPod(in, &num_cells) ||
-        num_cells > payload_size) {
+        num_cells > payload_size / 28u) {
       return nullptr;
     }
     const uint64_t leaf_cell_count = uint64_t{1} << (2 * config.depth);
@@ -428,11 +364,13 @@ struct SnapshotIo {
   static void SaveApl(const Apl& apl, std::ostream& out) {
     WriteTag(out, kTagApl);
     WritePod(out, static_cast<uint64_t>(apl.disk_bytes_));
-    WritePod(out, static_cast<uint64_t>(apl.per_trajectory_.size()));
-    for (const auto& tp : apl.per_trajectory_) {
-      WriteVec(out, tp.activities);
-      WriteVec(out, tp.offsets);
-      WriteVec(out, tp.points);
+    WritePod(out, static_cast<uint64_t>(apl.rows_.size()));
+    // Views, not owned storage, for the same mapped-index reason as
+    // SaveHicl.
+    for (const auto& row : apl.rows_) {
+      WriteVec(out, row.activities);
+      WriteVec(out, row.offsets);
+      WriteVec(out, row.points);
     }
   }
 
@@ -441,14 +379,15 @@ struct SnapshotIo {
     if (!ExpectTag(in, kTagApl)) return nullptr;
     std::unique_ptr<Apl> apl(new Apl());
     uint64_t disk_bytes = 0, num_trajectories = 0;
+    // Per row: three 8-byte count words, minimum.
     if (!ReadPod(in, &disk_bytes) || !ReadPod(in, &num_trajectories) ||
-        num_trajectories > payload_size) {
+        num_trajectories > payload_size / 24u) {
       return nullptr;
     }
     apl->disk_bytes_ = disk_bytes;
-    apl->per_trajectory_.resize(num_trajectories);
+    apl->owned_.resize(num_trajectories);
     // Same split as LoadHicl: sequential reads, fanned-out row checks.
-    for (auto& tp : apl->per_trajectory_) {
+    for (auto& tp : apl->owned_) {
       if (!ReadVec(in, &tp.activities, payload_size) ||
           !ReadVec(in, &tp.offsets, payload_size) ||
           !ReadVec(in, &tp.points, payload_size)) {
@@ -456,13 +395,15 @@ struct SnapshotIo {
       }
     }
     const bool rows_ok = ValidateRows(
-        executor, apl->per_trajectory_.size(), [&apl](size_t row) {
-          const auto& tp = apl->per_trajectory_[row];
+        executor, apl->owned_.size(), [&apl](size_t row) {
+          const auto& tp = apl->owned_[row];
           return OffsetsValid(tp.offsets, tp.activities.size(),
                               tp.points.size()) &&
                  std::is_sorted(tp.activities.begin(), tp.activities.end());
         });
-    return rows_ok ? std::move(apl) : nullptr;
+    if (!rows_ok) return nullptr;
+    apl->RebuildViews();
+    return apl;
   }
 };
 

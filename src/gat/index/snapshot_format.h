@@ -1,0 +1,70 @@
+#ifndef GAT_INDEX_SNAPSHOT_FORMAT_H_
+#define GAT_INDEX_SNAPSHOT_FORMAT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+/// The on-disk `GATS` snapshot format, shared by the two loaders:
+/// the stream deserializer (`gat/index/snapshot.cc`) and the zero-copy
+/// mmap loader (`gat/storage/mapped_snapshot.cc`). Both parse the same
+/// bytes; only what they do with the disk-tier sections differs
+/// (deserialize vs serve views into the mapping).
+///
+/// Layout: magic + version + payload CRC32 (12-byte header), then the
+/// payload — `GatConfig` fields, dataset fingerprint, and one tagged
+/// section per component (GRID, HICL, ITL_, TAS_, APL_, DONE). Every
+/// field and every vector payload is a multiple of 4 bytes, so *all*
+/// element arrays are 4-byte aligned at file offsets — the invariant
+/// the mmap loader relies on to hand out `std::span`s into the mapping
+/// (element types are 4-byte IDs/codes; see common/types.h).
+namespace gat::snapshot_format {
+
+inline constexpr char kMagic[4] = {'G', 'A', 'T', 'S'};
+inline constexpr uint32_t kVersion = 1;
+/// magic + version + payload CRC32.
+inline constexpr size_t kHeaderBytes = 12;
+
+// Section tags (4 ASCII bytes each) so a reader that goes out of sync
+// fails on the next tag instead of misinterpreting the stream.
+inline constexpr char kTagGrid[4] = {'G', 'R', 'I', 'D'};
+inline constexpr char kTagHicl[4] = {'H', 'I', 'C', 'L'};
+inline constexpr char kTagItl[4] = {'I', 'T', 'L', '_'};
+inline constexpr char kTagTas[4] = {'T', 'A', 'S', '_'};
+inline constexpr char kTagApl[4] = {'A', 'P', 'L', '_'};
+inline constexpr char kTagEnd[4] = {'D', 'O', 'N', 'E'};
+
+/// CRC-32 (IEEE 802.3, table-driven). The header carries the payload
+/// checksum so any bit corruption — not just truncation — fails the load
+/// instead of producing a subtly different index. Table lookup keeps the
+/// verify pass from dominating warm-start time on large snapshots.
+inline const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+      uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+      }
+      t[byte] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+inline uint32_t Crc32Update(uint32_t crc, const char* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF];
+  }
+  return crc;
+}
+
+inline uint32_t Crc32(const char* data, size_t size) {
+  return Crc32Update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gat::snapshot_format
+
+#endif  // GAT_INDEX_SNAPSHOT_FORMAT_H_

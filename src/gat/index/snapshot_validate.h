@@ -1,0 +1,73 @@
+#ifndef GAT_INDEX_SNAPSHOT_VALIDATE_H_
+#define GAT_INDEX_SNAPSHOT_VALIDATE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "gat/engine/executor.h"
+
+/// Structural-validation helpers shared by the two snapshot loaders
+/// (gat/index/snapshot.cc and gat/storage/mapped_snapshot.cc). Both must
+/// make the *same* accept/reject decision for any byte stream; keeping
+/// the checks here keeps them from drifting apart.
+namespace gat::snapshot_validate {
+
+/// Structural check shared by the ITL / APL posting layouts and the TAS
+/// offset table: `offsets` must be [0, ..., payload_size] and
+/// non-decreasing, with one extra entry over `keys`. A snapshot failing
+/// this would hand out-of-range spans to the searchers.
+inline bool OffsetsValid(std::span<const uint32_t> offsets, size_t num_keys,
+                         size_t payload_size) {
+  if (offsets.size() != num_keys + 1) return false;
+  if (offsets.front() != 0 ||
+      offsets.back() != static_cast<uint32_t>(payload_size)) {
+    return false;
+  }
+  return std::is_sorted(offsets.begin(), offsets.end());
+}
+
+/// Rows below this count validate inline: the task-submission overhead
+/// would exceed the per-row sorted/bounds checks being fanned out.
+inline constexpr size_t kParallelValidateMinRows = 256;
+
+/// Runs `row_ok(i)` over every row, fanned out in contiguous chunks on
+/// `executor` when one is given and the section is big enough to pay for
+/// it. Row checks are independent reads of already-loaded (or mapped)
+/// data, so the only shared state is the sticky failure flag. Returns
+/// true iff every row passes — the same decision the inline loop makes.
+inline bool ValidateRows(Executor* executor, size_t rows,
+                         const std::function<bool(size_t)>& row_ok) {
+  if (executor == nullptr || executor->threads() <= 1 ||
+      rows < kParallelValidateMinRows) {
+    for (size_t i = 0; i < rows; ++i) {
+      if (!row_ok(i)) return false;
+    }
+    return true;
+  }
+  const size_t chunks = std::min<size_t>(executor->threads(), rows);
+  const size_t per_chunk = (rows + chunks - 1) / chunks;
+  std::atomic<bool> ok{true};
+  TaskGroup group(*executor);
+  for (size_t begin = 0; begin < rows; begin += per_chunk) {
+    const size_t end = std::min(rows, begin + per_chunk);
+    group.Submit([&ok, &row_ok, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        if (!ok.load(std::memory_order_relaxed)) return;  // already doomed
+        if (!row_ok(i)) {
+          ok.store(false, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  group.Wait();
+  return ok.load();
+}
+
+}  // namespace gat::snapshot_validate
+
+#endif  // GAT_INDEX_SNAPSHOT_VALIDATE_H_

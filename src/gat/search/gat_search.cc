@@ -70,16 +70,23 @@ struct GatSearcher::State {
   TopKCollector collector;
   DiskAccessCounter disk;
   /// Disk-tier HICL inverted cell lists already fetched this query, keyed
-  /// by (activity << 4) | level. A list is charged as one disk read on
-  /// first use and is then memory-resident for the rest of the query.
+  /// by (activity << 4) | level. A list is fetched through the disk tier
+  /// (one logical read, block I/O under an mmap-backed tier) on first use
+  /// and is then memory-resident for the rest of the query.
   std::unordered_set<uint64_t> fetched_hicl_lists;
   bool exhausted = false;
 
-  void ChargeHiclList(ActivityId a, int level, int memory_levels) {
-    if (level <= memory_levels) return;
+  void ChargeHiclList(const Hicl& hicl, ActivityId a, int level) {
+    if (level <= hicl.memory_levels()) return;
     const uint64_t key = (static_cast<uint64_t>(a) << 4) |
                          static_cast<uint64_t>(level);
-    if (fetched_hicl_lists.insert(key).second) disk.RecordRead();
+    if (fetched_hicl_lists.insert(key).second) {
+      if (a < hicl.num_activities()) {
+        (void)hicl.CellsAt(a, level, &disk);
+      } else {
+        disk.RecordRead();  // fruitless fetch of an absent list
+      }
+    }
   }
 
   State(const Query& q, size_t k_in, QueryKind kind_in, SearchStats& s,
@@ -171,7 +178,9 @@ ResultList GatSearcher::Search(const Query& query, size_t k, QueryKind kind,
     if (state.exhausted) break;
   }
 
-  st.disk_reads = state.disk.reads;
+  st.disk_reads = state.disk.Reads();
+  st.block_hits = state.disk.BlockHits();
+  st.blocks_read = state.disk.BlocksRead();
   st.elapsed_ms = timer.ElapsedMillis();
   return ToResultList(state.collector);
 }
@@ -192,7 +201,7 @@ void GatSearcher::RetrieveCandidates(State& state) const {
       // into a disk-tier level fetches each demanded activity's inverted
       // cell list once per query.
       for (ActivityId a : acts) {
-        state.ChargeHiclList(a, e.level + 1, index_.config().memory_levels);
+        state.ChargeHiclList(index_.hicl(), a, e.level + 1);
       }
       children.clear();
       index_.hicl().ChildrenWithAny(acts, e.level, e.code, &children,

@@ -19,7 +19,14 @@ std::string SearchStats::ToString() const {
                 static_cast<unsigned long long>(heap_pushes),
                 static_cast<unsigned long long>(rounds),
                 static_cast<unsigned long long>(disk_reads), elapsed_ms);
-  return buf;
+  std::string out = buf;
+  if (block_hits + blocks_read > 0) {
+    std::snprintf(buf, sizeof(buf), " blocks(hit/miss)=%llu/%llu",
+                  static_cast<unsigned long long>(block_hits),
+                  static_cast<unsigned long long>(blocks_read));
+    out += buf;
+  }
+  return out;
 }
 
 SearchStats& SearchStats::operator+=(const SearchStats& other) {
@@ -37,6 +44,8 @@ SearchStats& SearchStats::operator+=(const SearchStats& other) {
   heap_pushes += other.heap_pushes;
   rounds += other.rounds;
   disk_reads += other.disk_reads;
+  block_hits += other.block_hits;
+  blocks_read += other.blocks_read;
   // Sequential composition: critical paths add. Fan-out searchers
   // overwrite the sum with their max-over-branches after merging.
   critical_disk_reads = combined_critical;

@@ -26,8 +26,16 @@ struct SearchStats {
   uint64_t heap_pushes = 0;
   /// Retrieval rounds of Algorithm 1 (GAT) / stream advances (RT, IRT).
   uint64_t rounds = 0;
-  /// Simulated disk reads (APL fetches, low HICL levels).
+  /// Logical disk reads (APL fetches, low HICL levels). Identical under
+  /// the simulated and the mmap-backed DiskTier — the tier changes what
+  /// a read physically does, not how many the algorithm performs.
   uint64_t disk_reads = 0;
+  /// Block-cache lookups the logical reads decomposed into, split into
+  /// hits and misses. Only a block-cached tier (gat/storage) populates
+  /// these; under the simulated default both stay 0. `blocks_read` is
+  /// the misses — the page-granular reads that did real I/O.
+  uint64_t block_hits = 0;
+  uint64_t blocks_read = 0;
   /// Simulated disk reads on the query's *critical path*. 0 means "same
   /// as disk_reads" (every sequential searcher leaves it unset); a
   /// fan-out searcher that overlaps per-shard I/O across executor tasks

@@ -20,8 +20,15 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
 
   shard_datasets_ = dataset.PartitionRoundRobin(num_shards_);
   shard_indexes_.resize(num_shards_);
+  mapped_.resize(num_shards_);
 
   const bool use_snapshots = !options.snapshot_dir.empty();
+  // The mmap tier *is* the snapshot file; there is nothing to map
+  // without a directory to persist into.
+  GAT_CHECK(!options.mmap_disk_tier || use_snapshots);
+  if (options.mmap_disk_tier) {
+    cache_ = std::make_unique<BlockCache>(options.cache_config);
+  }
   if (use_snapshots) {
     std::error_code ec;  // best effort; a failed mkdir surfaces as a build
     std::filesystem::create_directories(options.snapshot_dir, ec);
@@ -35,22 +42,46 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
     // Only worth the dataset pass when a cache is in play.
     const uint32_t fingerprint =
         use_snapshots ? DatasetFingerprint(shard_dataset) : 0;
+    const std::string path =
+        use_snapshots ? SnapshotPath(options.snapshot_dir, shard, num_shards_)
+                      : std::string();
+    MappedSnapshotOptions mapped_options;
+    mapped_options.expected = &config_;
+    mapped_options.expected_fingerprint = fingerprint;
+    mapped_options.executor = executor;
+    mapped_options.cache = cache_.get();
     if (use_snapshots) {
-      const std::string path =
-          SnapshotPath(options.snapshot_dir, shard, num_shards_);
-      auto index = LoadSnapshot(path, &config_, fingerprint, executor);
-      if (index != nullptr) {
-        shard_indexes_[shard] = std::move(index);
-        loaded.fetch_add(1, std::memory_order_relaxed);
-        return;
+      if (options.mmap_disk_tier) {
+        auto snap = MappedSnapshot::Load(path, mapped_options);
+        if (snap != nullptr) {
+          mapped_[shard] = std::move(snap);
+          loaded.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      } else {
+        auto index = LoadSnapshot(path, &config_, fingerprint, executor);
+        if (index != nullptr) {
+          shard_indexes_[shard] = std::move(index);
+          loaded.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
       }
     }
     shard_indexes_[shard] = std::make_unique<GatIndex>(shard_dataset, config_);
     if (use_snapshots) {
-      const std::string path =
-          SnapshotPath(options.snapshot_dir, shard, num_shards_);
-      (void)SaveSnapshot(*shard_indexes_[shard], path,
-                         fingerprint);  // cache priming
+      const bool saved = SaveSnapshot(*shard_indexes_[shard], path,
+                                      fingerprint);  // cache priming
+      if (saved && options.mmap_disk_tier) {
+        // Cold mmap start: swap the just-built heap index for the
+        // mapped serving form immediately, so even the first process
+        // generation serves its disk tier from the file. Falls back to
+        // the built index if the fresh file cannot be mapped.
+        auto snap = MappedSnapshot::Load(path, mapped_options);
+        if (snap != nullptr) {
+          mapped_[shard] = std::move(snap);
+          shard_indexes_[shard].reset();
+        }
+      }
     }
   };
 
@@ -91,7 +122,25 @@ const Dataset& ShardedIndex::shard_dataset(uint32_t shard) const {
 
 const GatIndex& ShardedIndex::shard_index(uint32_t shard) const {
   GAT_CHECK(shard < num_shards_);
-  return *shard_indexes_[shard];
+  return mapped_[shard] != nullptr ? mapped_[shard]->index()
+                                   : *shard_indexes_[shard];
+}
+
+uint32_t ShardedIndex::shards_mmap_served() const {
+  uint32_t count = 0;
+  for (const auto& snap : mapped_) {
+    if (snap != nullptr) ++count;
+  }
+  return count;
+}
+
+std::vector<const GatIndex*> ShardedIndex::shard_index_views() const {
+  std::vector<const GatIndex*> views;
+  views.reserve(num_shards_);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    views.push_back(&shard_index(shard));
+  }
+  return views;
 }
 
 bool ShardedIndex::SaveSnapshots(const std::string& dir) const {
@@ -99,7 +148,7 @@ bool ShardedIndex::SaveSnapshots(const std::string& dir) const {
   std::filesystem::create_directories(dir, ec);
   bool ok = true;
   for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    ok = SaveSnapshot(*shard_indexes_[shard],
+    ok = SaveSnapshot(shard_index(shard),
                       SnapshotPath(dir, shard, num_shards_),
                       DatasetFingerprint(shard_datasets_[shard])) &&
          ok;
@@ -115,8 +164,8 @@ std::string ShardedIndex::SnapshotPath(const std::string& dir, uint32_t shard,
 
 GatIndex::MemoryBreakdown ShardedIndex::memory_breakdown() const {
   GatIndex::MemoryBreakdown total;
-  for (const auto& index : shard_indexes_) {
-    const auto b = index->memory_breakdown();
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    const auto b = shard_index(shard).memory_breakdown();
     total.hicl_memory += b.hicl_memory;
     total.hicl_disk += b.hicl_disk;
     total.itl_memory += b.itl_memory;

@@ -9,6 +9,8 @@
 #include "gat/engine/executor.h"
 #include "gat/index/gat_index.h"
 #include "gat/model/dataset.h"
+#include "gat/storage/block_cache.h"
+#include "gat/storage/mapped_snapshot.h"
 
 namespace gat {
 
@@ -35,6 +37,16 @@ struct ShardOptions {
   /// under a different GatConfig are rebuilt from the dataset and their
   /// snapshot rewritten — the directory is a self-priming cache.
   std::string snapshot_dir;
+
+  /// Serve each shard's disk-resident components (APL rows, deep HICL
+  /// levels) as zero-copy views into its mmap-ed snapshot, read through
+  /// one `BlockCache` whose budget (`cache_config`) is shared across all
+  /// shards. Requires `snapshot_dir`. Cold shards are built, snapshotted
+  /// and immediately re-served from the mapping, so a restart never
+  /// materializes the disk tier. Search results and logical disk-read
+  /// counts are identical to the default in-memory serving.
+  bool mmap_disk_tier = false;
+  BlockCacheConfig cache_config;
 };
 
 /// Horizontal partitioning of one dataset into N independent GAT indexes
@@ -88,6 +100,18 @@ class ShardedIndex {
   /// cold start, `num_shards()` on a fully warm one.
   uint32_t shards_loaded_from_snapshot() const { return loaded_from_snapshot_; }
 
+  /// The shared block cache of the mmap disk tier, or nullptr when
+  /// `ShardOptions::mmap_disk_tier` was off.
+  const BlockCache* block_cache() const { return cache_.get(); }
+
+  /// Shards currently served from a mapped snapshot (== num_shards() in
+  /// mmap mode unless a shard fell back to RAM, e.g. unwritable dir).
+  uint32_t shards_mmap_served() const;
+
+  /// All shard indexes, in shard order — the handle a
+  /// `PrefetchScheduler` is built from.
+  std::vector<const GatIndex*> shard_index_views() const;
+
   /// Wall-clock seconds of the whole construction (partition + parallel
   /// build/load).
   double build_seconds() const { return build_seconds_; }
@@ -99,7 +123,12 @@ class ShardedIndex {
   uint32_t num_shards_;
   GatConfig config_;
   std::vector<Dataset> shard_datasets_;
+  /// Exactly one of shard_indexes_[s] / mapped_[s] is set per shard:
+  /// heap-owned index (default mode, or mmap fallback) vs mapped
+  /// snapshot owning its index, mapping and tier.
   std::vector<std::unique_ptr<GatIndex>> shard_indexes_;
+  std::vector<std::unique_ptr<MappedSnapshot>> mapped_;
+  std::unique_ptr<BlockCache> cache_;  // shared budget, mmap mode only
   uint32_t loaded_from_snapshot_ = 0;
   double build_seconds_ = 0.0;
 };

@@ -1,0 +1,119 @@
+#include "gat/storage/block_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "gat/common/check.h"
+
+namespace gat {
+namespace {
+
+/// (file, block) packed into the one word the LRU list/map store. 40
+/// bits of block index cover 512 TiB at the smallest block size; 24
+/// bits of file id cover any realistic shard count.
+uint64_t PackKey(uint32_t file, uint64_t block) {
+  GAT_DCHECK(block < (uint64_t{1} << 40));
+  GAT_DCHECK(file < (uint32_t{1} << 24));  // ids above this would alias
+  return (static_cast<uint64_t>(file) << 40) | block;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(const BlockCacheConfig& config) {
+  block_bytes_ = static_cast<uint32_t>(std::bit_floor(
+      std::clamp<uint64_t>(config.block_bytes, 512, 1ull << 20)));
+  const uint32_t num_shards = static_cast<uint32_t>(
+      std::bit_floor(std::clamp<uint64_t>(config.shards, 1, 64)));
+  // At least one block per shard: a cache that cannot hold a block at
+  // all would turn every lookup into a miss-and-evict of itself, which
+  // is indistinguishable from (but slower than) no cache.
+  capacity_blocks_ =
+      std::max<uint64_t>(config.capacity_bytes / block_bytes_, num_shards);
+  shards_ = std::vector<Shard>(num_shards);
+  const uint64_t per_shard =
+      std::max<uint64_t>(capacity_blocks_ / num_shards, 1);
+  for (auto& shard : shards_) shard.capacity = per_shard;
+}
+
+uint32_t BlockCache::RegisterFile() {
+  return next_file_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache::Shard& BlockCache::ShardFor(uint64_t key) {
+  // Multiplicative hash over the packed key: consecutive blocks of one
+  // file spread across shards instead of hammering one mutex.
+  return shards_[(key * 0x9E3779B97F4A7C15ull) >> 32 & (shards_.size() - 1)];
+}
+
+bool BlockCache::Touch(uint32_t file, uint64_t block) {
+  return LookupInternal(file, block, /*prefetch=*/false);
+}
+
+bool BlockCache::Warm(uint32_t file, uint64_t block) {
+  return LookupInternal(file, block, /*prefetch=*/true);
+}
+
+bool BlockCache::LookupInternal(uint32_t file, uint64_t block,
+                                bool prefetch) {
+  const uint64_t key = PackKey(file, block);
+  Shard& shard = ShardFor(key);
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    hit = it != shard.index.end();
+    if (hit) shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  }
+  if (prefetch) {
+    (hit ? prefetch_hits_ : prefetched_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+void BlockCache::Publish(uint32_t file, uint64_t block) {
+  const uint64_t key = PackKey(file, block);
+  Shard& shard = ShardFor(key);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // A concurrent reader of the same block published first; their
+      // copy of the verification covered these bytes.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back());
+      shard.lru.pop_back();
+      evicted = true;
+    }
+    shard.lru.push_front(key);
+    shard.index.emplace(key, shard.lru.begin());
+  }
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCacheStats BlockCache::Snapshot() const {
+  BlockCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.prefetched = prefetched_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t BlockCache::ResidentBlocks() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+}  // namespace gat

@@ -1,0 +1,127 @@
+#ifndef GAT_STORAGE_BLOCK_CACHE_H_
+#define GAT_STORAGE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "gat/common/storage_tier.h"
+
+namespace gat {
+
+/// BlockCache knobs. Both sizes are rounded to powers of two; the
+/// capacity is a *shared budget* — one cache typically fronts every
+/// shard's mapped snapshot in a serving process.
+struct BlockCacheConfig {
+  /// Cache-block granularity in bytes (power of two; clamped to
+  /// [512, 1 MiB]). 4 KiB = one page, the mmap fault granularity.
+  uint32_t block_bytes = 4096;
+
+  /// Total budget in bytes across all files and shards. Blocks =
+  /// capacity_bytes / block_bytes, floored at one block per LRU shard.
+  uint64_t capacity_bytes = 64ull << 20;
+
+  /// LRU shard count (power of two; clamped to [1, 64]). Shards cut
+  /// mutex contention when many search tasks fetch concurrently.
+  uint32_t shards = 8;
+};
+
+/// Point-in-time counters. `hits`/`misses` count demand lookups
+/// (`Touch`); `prefetch_hits`/`prefetched` count warm-path lookups
+/// (`Warm`) so prefetch effectiveness is visible separately and never
+/// distorts the demand hit rate.
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetched = 0;
+
+  uint64_t DemandLookups() const { return hits + misses; }
+  double HitRate() const { return CacheHitRate(hits, DemandLookups()); }
+};
+
+/// A sharded LRU cache of (file, block) residency over mmap-backed
+/// snapshots — the main-memory buffer pool in front of the disk tier.
+///
+/// The cache tracks *which* blocks are resident, not the bytes
+/// themselves: the bytes live in the file mapping, and the caller does
+/// the real read (pagefault + verify) on a miss. This is exactly the
+/// split a buffer pool over mmap has — the cache is the replacement
+/// policy and the accounting, the kernel owns the pages.
+///
+/// Thread-safety: fully internally synchronized. Each key hashes to one
+/// LRU shard guarded by its own mutex; stats are relaxed atomics. Two
+/// tasks missing the same block concurrently both report a miss, both
+/// read-and-verify, and both publish — benign duplicate work for
+/// immutable read-only mappings, and no task can ever observe a block
+/// as resident before some reader finished verifying it (misses only
+/// become resident through `Publish`).
+class BlockCache {
+ public:
+  explicit BlockCache(const BlockCacheConfig& config = {});
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Hands out a unique file namespace for one mapped snapshot, so
+  /// shards sharing the cache never alias each other's blocks.
+  uint32_t RegisterFile();
+
+  /// Demand lookup of block `block` of file `file`: marks it
+  /// most-recently-used and returns true when it was resident. On a
+  /// miss (false) the caller must do the real read and verification,
+  /// then `Publish` the block — a missed block is deliberately NOT
+  /// inserted here, so a concurrent lookup can never see a block as
+  /// resident before its reader finished verifying it.
+  bool Touch(uint32_t file, uint64_t block);
+
+  /// Prefetch lookup: same residency semantics as `Touch`, but counted
+  /// under `prefetched`/`prefetch_hits` instead of the demand hit/miss
+  /// stats. Returns true when the block was already resident; a miss
+  /// must be read, verified and `Publish`ed like a demand miss.
+  bool Warm(uint32_t file, uint64_t block);
+
+  /// Inserts a read-and-verified block as most-recently-used, evicting
+  /// the shard's LRU tail if full. Idempotent under races: if another
+  /// reader published the block first, this just bumps its recency.
+  void Publish(uint32_t file, uint64_t block);
+
+  BlockCacheStats Snapshot() const;
+
+  uint32_t block_bytes() const { return block_bytes_; }
+  uint64_t capacity_blocks() const { return capacity_blocks_; }
+
+  /// Resident blocks right now (sums the shard maps; for tests/benches).
+  uint64_t ResidentBlocks() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map holds iterators into the
+    // list; both only ever hold keys (no data bytes).
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index;
+    uint64_t capacity = 1;
+  };
+
+  Shard& ShardFor(uint64_t key);
+  bool LookupInternal(uint32_t file, uint64_t block, bool prefetch);
+
+  uint32_t block_bytes_;
+  uint64_t capacity_blocks_;
+  std::vector<Shard> shards_;
+  std::atomic<uint32_t> next_file_id_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetched_{0};
+};
+
+}  // namespace gat
+
+#endif  // GAT_STORAGE_BLOCK_CACHE_H_

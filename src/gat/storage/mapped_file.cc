@@ -1,0 +1,66 @@
+#include "gat/storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gat {
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      valid_(std::exchange(other.valid_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    valid_ = std::exchange(other.valid_, false);
+  }
+  return *this;
+}
+
+bool MappedFile::Open(const std::string& path) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    // POSIX rejects zero-length mappings; an empty file is still a
+    // valid (empty) object.
+    ::close(fd);
+    valid_ = true;
+    return true;
+  }
+  void* addr = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // not needed past this point either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) return false;
+  data_ = static_cast<const char*>(addr);
+  size_ = static_cast<size_t>(st.st_size);
+  valid_ = true;
+  return true;
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  valid_ = false;
+}
+
+}  // namespace gat

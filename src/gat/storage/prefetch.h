@@ -1,0 +1,80 @@
+#ifndef GAT_STORAGE_PREFETCH_H_
+#define GAT_STORAGE_PREFETCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gat/engine/executor.h"
+#include "gat/index/gat_index.h"
+#include "gat/model/query.h"
+#include "gat/storage/block_cache.h"
+
+namespace gat {
+
+/// Executor-task-based APL prefetch for queued batch queries — the first
+/// real I/O overlap *between* the queries of a batch.
+///
+/// For every query point, the RAM-resident layers predict refinement's
+/// disk reads for free: the leaf cell of the point's location plus the
+/// point's demanded activities index straight into the ITL, whose
+/// trajectory lists are exactly the candidates the first retrieval
+/// rounds will hand to validation. The scheduler warms those
+/// trajectories' APL posting blocks through each index's `DiskTier`
+/// (`Apl::PrefetchRow`) — a no-op under the simulated tier, real
+/// block-cache fills under an mmap-backed one.
+///
+/// Scheduling: `QueryEngine` submits the prefetch sweep as tasks into
+/// the batch's own task group *before* the search tasks, so wherever the
+/// pool has spare width the sweep runs concurrently with the first
+/// queries and later queries find their candidate rows resident. With
+/// no executor the sweep runs inline before the batch — deterministic,
+/// which is what keeps `--threads 1` bench counters exact.
+///
+/// Thread-safety: const, internally synchronized stats; one instance may
+/// serve any number of concurrent batches.
+class PrefetchScheduler {
+ public:
+  /// Per-query cap on warmed APL rows, bounding the sweep on hub cells.
+  static constexpr size_t kMaxRowsPerQuery = 512;
+
+  /// `indexes` = one entry per shard (or a single index); `cache` is the
+  /// block cache the batch stats should report (nullptr = none, e.g.
+  /// purely simulated setups). All pointers are non-owning and must
+  /// outlive the scheduler.
+  explicit PrefetchScheduler(std::vector<const GatIndex*> indexes,
+                             const BlockCache* cache = nullptr);
+
+  /// Warms the predicted APL rows of one query across every index.
+  void PrefetchQuery(const Query& query) const;
+
+  /// Submits the batch sweep as `fanout` striped tasks into `group`
+  /// (caller owns the barrier). `queries` must outlive the group.
+  void SubmitBatch(const std::vector<Query>& queries, TaskGroup& group,
+                   uint32_t fanout) const;
+
+  /// Runs the whole sweep inline (the no-executor path).
+  void PrefetchBatch(const std::vector<Query>& queries) const;
+
+  /// The cache demand/prefetch stats feed from, or nullptr.
+  const BlockCache* cache() const { return cache_; }
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t rows_warmed = 0;
+  };
+  Stats stats() const {
+    return {queries_.load(std::memory_order_relaxed),
+            rows_warmed_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::vector<const GatIndex*> indexes_;
+  const BlockCache* cache_;
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> rows_warmed_{0};
+};
+
+}  // namespace gat
+
+#endif  // GAT_STORAGE_PREFETCH_H_
