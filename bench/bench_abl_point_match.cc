@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness.h"
+
 #include "gat/core/point_match.h"
 #include "gat/util/rng.h"
 

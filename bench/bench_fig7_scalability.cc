@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "harness.h"
+
 #include "gat/util/rng.h"
 
 namespace gat::bench {

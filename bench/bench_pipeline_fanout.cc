@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "harness.h"
+
 #include "gat/engine/executor.h"
 #include "gat/shard/sharded_index.h"
 #include "gat/shard/sharded_searcher.h"

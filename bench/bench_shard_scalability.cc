@@ -20,6 +20,7 @@
 #include <string>
 
 #include "harness.h"
+
 #include "gat/shard/sharded_index.h"
 #include "gat/shard/sharded_searcher.h"
 

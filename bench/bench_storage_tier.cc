@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "harness.h"
+
 #include "gat/engine/executor.h"
 #include "gat/index/snapshot.h"
 #include "gat/shard/sharded_index.h"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "harness.h"
+
 #include "gat/util/stopwatch.h"
 
 namespace gat::bench {

@@ -236,6 +236,14 @@ struct Measurement {
   bool has_cache = false;
   uint32_t cache_block_bytes = 0;
   uint64_t prefetched_blocks = 0;
+  /// Live-reload observability (bench_live_reload): set by the bench
+  /// after MeasureWorkload when a background reloader ran alongside the
+  /// measurement. `shard_reloads` = completed hot-swaps during the
+  /// measurement, `invalidated_blocks` = cache blocks purged by retired
+  /// mappings. Both are interleaving-dependent — advisory in diffs.
+  bool has_reload = false;
+  uint64_t shard_reloads = 0;
+  uint64_t invalidated_blocks = 0;
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
@@ -374,6 +382,10 @@ class BenchReport {
     rec.block_hits = m.totals.block_hits;
     rec.blocks_read = m.totals.blocks_read;
     rec.prefetched_blocks = m.prefetched_blocks;
+    rec.index_pins = m.totals.index_pins;
+    rec.has_reload = m.has_reload;
+    rec.shard_reloads = m.shard_reloads;
+    rec.invalidated_blocks = m.invalidated_blocks;
     records_.push_back(std::move(rec));
   }
 
@@ -438,6 +450,23 @@ class BenchReport {
                      r.p50_ms, r.p95_ms, r.p99_ms);
       }
       if (r.shards > 0) std::fprintf(f, ", \"shards\": %u", r.shards);
+      // One pin per shard visit under the live-reload epoch guard:
+      // deterministic (queries x shards), 0 for fixed-index searchers.
+      // Sharded records emit the field even at 0 — a serving path that
+      // stops pinning must show up as counter drift against its
+      // baseline, not as a silently absent field.
+      if (r.index_pins > 0 || r.shards > 0) {
+        std::fprintf(f, ", \"index_pins\": %llu",
+                     static_cast<unsigned long long>(r.index_pins));
+      }
+      if (r.has_reload) {
+        // Hot-swap activity behind the measurement — interleaving-
+        // dependent, diffed advisorily (see docs/BENCH_PROTOCOL.md).
+        std::fprintf(f, ", \"shard_reloads\": %llu, "
+                        "\"invalidated_blocks\": %llu",
+                     static_cast<unsigned long long>(r.shard_reloads),
+                     static_cast<unsigned long long>(r.invalidated_blocks));
+      }
       if (r.has_cache) {
         // Block-cache fields (mmap disk tier): `blocks_read` is the
         // demand misses of the last timed batch — deterministic at
@@ -483,6 +512,10 @@ class BenchReport {
     uint64_t block_hits = 0;
     uint64_t blocks_read = 0;
     uint64_t prefetched_blocks = 0;
+    uint64_t index_pins = 0;   // epoch-guard pins; emitted when > 0
+    bool has_reload = false;   // reload fields below are meaningful
+    uint64_t shard_reloads = 0;
+    uint64_t invalidated_blocks = 0;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -13,10 +13,15 @@ Implements the comparison rules of docs/BENCH_PROTOCOL.md:
     counters scale with the partition, so the workloads are different
     experiments.
   * Fails (exit 1) when any deterministic work counter
-    (candidates_verified, tas_pruned, distance_computations, disk_reads)
-    drifts: counters are scheduling-independent, so any change is a
-    behavioral change, not noise (``--allow-counter-drift`` downgrades
-    this to a warning for PRs that intentionally change the algorithm).
+    (candidates_verified, tas_pruned, distance_computations, disk_reads,
+    index_pins) drifts: counters are scheduling-independent, so any
+    change is a behavioral change, not noise (``--allow-counter-drift``
+    downgrades this to a warning for PRs that intentionally change the
+    algorithm).
+  * Live-reload fields (``shard_reloads``, ``invalidated_blocks``,
+    bench_live_reload): background-loop scheduled, so never gated —
+    but a baseline showing reload activity against a candidate showing
+    none warns (the live machinery stopped being exercised).
   * Block-cache fields (storage benches): records carrying a
     ``block_size`` must agree on it — block granularity defines what a
     ``blocks_read`` means, so a mismatch is refused like a protocol
@@ -59,7 +64,16 @@ COUNTER_FIELDS = (
     "tas_pruned",
     "distance_computations",
     "disk_reads",
+    # Serving-revision pins of the live-reload epoch guard: exactly
+    # queries x shards per record, independent of threads, repeats and
+    # of whether any reload actually happened — deterministic.
+    "index_pins",
 )
+# Live-reload activity counters (bench_live_reload): how many hot-swaps
+# completed and how many cache blocks retired mappings purged during the
+# measurement. Real work, but scheduled by a wall-clock background
+# loop — never comparable exactly, so drift only warns.
+ADVISORY_RELOAD_FIELDS = ("shard_reloads", "invalidated_blocks")
 # Workload-defining protocol fields: a mismatch makes the diff meaningless.
 PROTOCOL_FIELDS = ("scale", "queries_per_point", "disk_penalty_ms")
 
@@ -199,6 +213,16 @@ def main():
                 warnings.append(f"{name}: cache_hit_rate "
                                 f"{o['cache_hit_rate']:.4f} -> "
                                 f"{n['cache_hit_rate']:.4f} (advisory)")
+
+        for field in ADVISORY_RELOAD_FIELDS:
+            if field not in o or field not in n:
+                continue
+            # The one regression these can flag reliably: the reloader
+            # stopped reloading (or invalidation stopped purging) while
+            # the baseline shows the machinery was exercised.
+            if o[field] > 0 and n[field] == 0:
+                warnings.append(f"{name}: {field} {o[field]} -> 0 "
+                                "(advisory: live-reload activity vanished)")
 
         for field in COUNTER_FIELDS:
             # Compare only fields both sides carry (append-only schema:

@@ -115,6 +115,9 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
     batch.storage.misses = after.misses - cache_before.misses;
     batch.storage.evictions = after.evictions - cache_before.evictions;
     batch.storage.prefetched = after.prefetched - cache_before.prefetched;
+    batch.storage.invalidated = after.invalidated - cache_before.invalidated;
+    batch.storage.files_retired =
+        after.files_retired - cache_before.files_retired;
   }
   batch.wall_ms = timer.ElapsedMillis();
   return batch;

@@ -48,6 +48,11 @@ struct BatchStorageStats {
   uint64_t misses = 0;      ///< demand lookups that did real block reads
   uint64_t evictions = 0;
   uint64_t prefetched = 0;  ///< blocks warmed by the prefetch sweep
+  /// Live-reload activity around the batch: blocks purged because a
+  /// retired mapping was unregistered, and mappings retired. Both stay
+  /// 0 while no snapshot hot-swap overlaps the batch.
+  uint64_t invalidated = 0;
+  uint64_t files_retired = 0;
 
   double HitRate() const { return CacheHitRate(hits, hits + misses); }
 };

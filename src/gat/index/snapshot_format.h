@@ -65,6 +65,52 @@ inline uint32_t Crc32(const char* data, size_t size) {
   return Crc32Update(0xFFFFFFFFu, data, size) ^ 0xFFFFFFFFu;
 }
 
+/// GF(2) matrix-times-vector over the CRC-32 state space: each matrix
+/// column is the image of one state bit under some number of zero bits
+/// appended to the message.
+inline uint32_t Crc32Gf2Times(const std::array<uint32_t, 32>& mat,
+                              uint32_t vec) {
+  uint32_t sum = 0;
+  for (int i = 0; vec != 0; vec >>= 1, ++i) {
+    if (vec & 1u) sum ^= mat[i];
+  }
+  return sum;
+}
+
+/// Crc32(AB) from Crc32(A), Crc32(B) and |B| — the zlib crc32_combine
+/// construction: advance crc1 through |B| zero bytes by repeated
+/// squaring of the one-zero-bit operator matrix, then xor in crc2.
+/// This is what lets a snapshot load compute its whole-payload CRC
+/// from independently checksummed chunks, bit-identical to the
+/// sequential sweep.
+inline uint32_t Crc32Combine(uint32_t crc1, uint32_t crc2, uint64_t len2) {
+  if (len2 == 0) return crc1;
+  std::array<uint32_t, 32> even;  // operator for 2^k zero bits (even k)
+  std::array<uint32_t, 32> odd;   // ... and odd k
+  // One zero *bit*: shift the state down and fold the polynomial back
+  // in where bit 0 fell out (reflected representation).
+  odd[0] = 0xEDB88320u;
+  for (int n = 1; n < 32; ++n) odd[n] = 1u << (n - 1);
+  auto square = [](std::array<uint32_t, 32>& dst,
+                   const std::array<uint32_t, 32>& src) {
+    for (int n = 0; n < 32; ++n) dst[n] = Crc32Gf2Times(src, src[n]);
+  };
+  square(even, odd);  // 2 zero bits
+  square(odd, even);  // 4 zero bits
+  // Apply the operators for len2 * 8 zero bits = len2 zero bytes,
+  // consuming len2's binary digits from 8-zero-bits upward.
+  do {
+    square(even, odd);
+    if (len2 & 1u) crc1 = Crc32Gf2Times(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    square(odd, even);
+    if (len2 & 1u) crc1 = Crc32Gf2Times(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
 }  // namespace gat::snapshot_format
 
 #endif  // GAT_INDEX_SNAPSHOT_FORMAT_H_

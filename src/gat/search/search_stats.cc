@@ -20,6 +20,11 @@ std::string SearchStats::ToString() const {
                 static_cast<unsigned long long>(rounds),
                 static_cast<unsigned long long>(disk_reads), elapsed_ms);
   std::string out = buf;
+  if (index_pins > 0) {
+    std::snprintf(buf, sizeof(buf), " pins=%llu",
+                  static_cast<unsigned long long>(index_pins));
+    out += buf;
+  }
   if (block_hits + blocks_read > 0) {
     std::snprintf(buf, sizeof(buf), " blocks(hit/miss)=%llu/%llu",
                   static_cast<unsigned long long>(block_hits),
@@ -46,6 +51,7 @@ SearchStats& SearchStats::operator+=(const SearchStats& other) {
   disk_reads += other.disk_reads;
   block_hits += other.block_hits;
   blocks_read += other.blocks_read;
+  index_pins += other.index_pins;
   // Sequential composition: critical paths add. Fan-out searchers
   // overwrite the sum with their max-over-branches after merging.
   critical_disk_reads = combined_critical;

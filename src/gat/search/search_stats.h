@@ -36,6 +36,13 @@ struct SearchStats {
   /// the misses — the page-granular reads that did real I/O.
   uint64_t block_hits = 0;
   uint64_t blocks_read = 0;
+  /// Serving-revision pins acquired during the query (live-reload
+  /// epoch guard): a ShardedSearcher pins each shard's current
+  /// revision once per visit, so this is a deterministic
+  /// `num_shards` per query — and 0 for searchers that serve a fixed
+  /// index. The counter that proves the hot-swap path was exercised
+  /// without perturbing any work counter.
+  uint64_t index_pins = 0;
   /// Simulated disk reads on the query's *critical path*. 0 means "same
   /// as disk_reads" (every sequential searcher leaves it unset); a
   /// fan-out searcher that overlaps per-shard I/O across executor tasks

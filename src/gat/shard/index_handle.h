@@ -1,0 +1,97 @@
+#ifndef GAT_SHARD_INDEX_HANDLE_H_
+#define GAT_SHARD_INDEX_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "gat/index/gat_index.h"
+#include "gat/storage/mapped_snapshot.h"
+
+namespace gat {
+
+/// One immutable serving generation of a shard: the index plus whatever
+/// owns its storage — either a `MappedSnapshot` (mapping + block-cached
+/// tier + index) or a heap-built `GatIndex`. A revision is reference-
+/// counted through `IndexHandle`: in-flight searches pin it, a reload
+/// swaps the handle to a successor, and the retired revision is
+/// destroyed by whoever drops the last reference — which is what runs
+/// the `MappedDiskTier` destructor and purges the mapping's blocks from
+/// the shared `BlockCache` only after its last reader drained.
+struct ShardRevision {
+  /// Exactly one of `mapped` / `owned` is set.
+  std::unique_ptr<MappedSnapshot> mapped;
+  std::unique_ptr<GatIndex> owned;
+  /// The serving index (into `mapped` or `owned`); never null.
+  const GatIndex* index = nullptr;
+  /// Monotonic per shard: 0 for the constructed generation, +1 per
+  /// installed successor — stamped by `IndexHandle::Install` under the
+  /// handle mutex, so it is strictly increasing even when reloads of
+  /// one shard race. Lets tests and operators observe swaps.
+  uint64_t epoch = 0;
+
+  static std::shared_ptr<ShardRevision> Of(
+      std::unique_ptr<MappedSnapshot> snapshot) {
+    auto rev = std::make_shared<ShardRevision>();
+    rev->index = &snapshot->index();
+    rev->mapped = std::move(snapshot);
+    return rev;
+  }
+
+  static std::shared_ptr<ShardRevision> Of(std::unique_ptr<GatIndex> index) {
+    auto rev = std::make_shared<ShardRevision>();
+    rev->index = index.get();
+    rev->owned = std::move(index);
+    return rev;
+  }
+};
+
+/// The epoch-guarded swap point of one shard: a shared_ptr published
+/// under a mutex. `Pin` is the read side (a search acquires the current
+/// revision and holds it for the duration of its shard visit — two
+/// uncontended mutex ops plus a refcount, nanoseconds against a
+/// millisecond search); `Swap` atomically installs a successor and
+/// returns the predecessor, whose destruction the last pinning reader
+/// triggers. There is no reader registry and no quiescence wait: the
+/// shared_ptr count *is* the epoch drain.
+///
+/// Thread-safety: all methods are safe against each other from any
+/// number of threads.
+class IndexHandle {
+ public:
+  IndexHandle() = default;
+  IndexHandle(const IndexHandle&) = delete;
+  IndexHandle& operator=(const IndexHandle&) = delete;
+
+  /// The current revision, pinned: the revision (index, mapping, tier)
+  /// stays alive at least until the returned pointer is dropped, even
+  /// across any number of concurrent `Swap`s.
+  std::shared_ptr<const ShardRevision> Pin() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Installs `next` as the serving revision — stamping its epoch to
+  /// predecessor + 1 (0 when there is no predecessor) inside the same
+  /// critical section, so epochs stay strictly monotonic under racing
+  /// installs — and returns the retired revision (which the caller
+  /// usually just drops; in-flight pins keep it alive until they
+  /// drain). `next` must not be shared yet: it becomes immutable here.
+  std::shared_ptr<const ShardRevision> Install(
+      std::shared_ptr<ShardRevision> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next->epoch = current_ != nullptr ? current_->epoch + 1 : 0;
+    std::shared_ptr<const ShardRevision> prev = std::move(current_);
+    current_ = std::move(next);
+    return prev;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ShardRevision> current_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_SHARD_INDEX_HANDLE_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
+#include <utility>
 
 #include "gat/common/check.h"
 #include "gat/engine/executor.h"
@@ -14,13 +15,13 @@ namespace gat {
 
 ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
                            const ShardOptions& options)
-    : num_shards_(options.num_shards), config_(config) {
+    : num_shards_(options.num_shards),
+      config_(config),
+      handles_(options.num_shards) {
   GAT_CHECK(num_shards_ >= 1);
   Stopwatch timer;
 
   shard_datasets_ = dataset.PartitionRoundRobin(num_shards_);
-  shard_indexes_.resize(num_shards_);
-  mapped_.resize(num_shards_);
 
   const bool use_snapshots = !options.snapshot_dir.empty();
   // The mmap tier *is* the snapshot file; there is nothing to map
@@ -35,6 +36,10 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
   }
 
   std::atomic<uint32_t> loaded{0};
+  auto install = [this](uint32_t shard,
+                        std::shared_ptr<ShardRevision> revision) {
+    handles_[shard].Install(std::move(revision));  // stamps epoch 0
+  };
   auto build_shard = [&](uint32_t shard, Executor* executor) {
     const Dataset& shard_dataset = shard_datasets_[shard];
     // Binds each snapshot to this exact dataset cut: a stale file — even
@@ -54,22 +59,22 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
       if (options.mmap_disk_tier) {
         auto snap = MappedSnapshot::Load(path, mapped_options);
         if (snap != nullptr) {
-          mapped_[shard] = std::move(snap);
+          install(shard, ShardRevision::Of(std::move(snap)));
           loaded.fetch_add(1, std::memory_order_relaxed);
           return;
         }
       } else {
         auto index = LoadSnapshot(path, &config_, fingerprint, executor);
         if (index != nullptr) {
-          shard_indexes_[shard] = std::move(index);
+          install(shard, ShardRevision::Of(std::move(index)));
           loaded.fetch_add(1, std::memory_order_relaxed);
           return;
         }
       }
     }
-    shard_indexes_[shard] = std::make_unique<GatIndex>(shard_dataset, config_);
+    auto built = std::make_unique<GatIndex>(shard_dataset, config_);
     if (use_snapshots) {
-      const bool saved = SaveSnapshot(*shard_indexes_[shard], path,
+      const bool saved = SaveSnapshot(*built, path,
                                       fingerprint);  // cache priming
       if (saved && options.mmap_disk_tier) {
         // Cold mmap start: swap the just-built heap index for the
@@ -78,11 +83,12 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
         // the built index if the fresh file cannot be mapped.
         auto snap = MappedSnapshot::Load(path, mapped_options);
         if (snap != nullptr) {
-          mapped_[shard] = std::move(snap);
-          shard_indexes_[shard].reset();
+          install(shard, ShardRevision::Of(std::move(snap)));
+          return;
         }
       }
     }
+    install(shard, ShardRevision::Of(std::move(built)));
   };
 
   // Builds and snapshot loads are tasks on the shared executor when the
@@ -122,14 +128,60 @@ const Dataset& ShardedIndex::shard_dataset(uint32_t shard) const {
 
 const GatIndex& ShardedIndex::shard_index(uint32_t shard) const {
   GAT_CHECK(shard < num_shards_);
-  return mapped_[shard] != nullptr ? mapped_[shard]->index()
-                                   : *shard_indexes_[shard];
+  // Unpinned by contract (see header): the revision outlives the
+  // returned reference only while no reload retires it.
+  return *handles_[shard].Pin()->index;
+}
+
+std::shared_ptr<const ShardRevision> ShardedIndex::PinShard(
+    uint32_t shard) const {
+  GAT_CHECK(shard < num_shards_);
+  return handles_[shard].Pin();
+}
+
+uint64_t ShardedIndex::shard_epoch(uint32_t shard) const {
+  return PinShard(shard)->epoch;
+}
+
+bool ShardedIndex::ReloadShard(uint32_t shard,
+                               const std::string& snapshot_path,
+                               Executor* executor) {
+  GAT_CHECK(shard < num_shards_);
+  // Same gating as construction: the incoming snapshot must be built
+  // under this index's config *and* over this exact shard dataset —
+  // anything else (including a corrupt or truncated file) fails here,
+  // before the serving path is touched.
+  const uint32_t fingerprint = DatasetFingerprint(shard_datasets_[shard]);
+  std::shared_ptr<ShardRevision> next;
+  if (cache_ != nullptr) {
+    MappedSnapshotOptions mapped_options;
+    mapped_options.expected = &config_;
+    mapped_options.expected_fingerprint = fingerprint;
+    mapped_options.executor = executor;
+    mapped_options.cache = cache_.get();
+    auto snap = MappedSnapshot::Load(snapshot_path, mapped_options);
+    if (snap != nullptr) next = ShardRevision::Of(std::move(snap));
+  } else {
+    auto index = LoadSnapshot(snapshot_path, &config_, fingerprint, executor);
+    if (index != nullptr) next = ShardRevision::Of(std::move(index));
+  }
+  if (next == nullptr) {
+    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // The install is the only serving-path touch (it stamps the epoch to
+  // predecessor + 1 under the handle mutex); the retired revision is
+  // dropped here and destroyed — tier unregistered, blocks purged —
+  // by whichever in-flight reader drains last.
+  handles_[shard].Install(std::move(next));
+  reloads_completed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 uint32_t ShardedIndex::shards_mmap_served() const {
   uint32_t count = 0;
-  for (const auto& snap : mapped_) {
-    if (snap != nullptr) ++count;
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    if (handles_[shard].Pin()->mapped != nullptr) ++count;
   }
   return count;
 }
@@ -148,7 +200,8 @@ bool ShardedIndex::SaveSnapshots(const std::string& dir) const {
   std::filesystem::create_directories(dir, ec);
   bool ok = true;
   for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    ok = SaveSnapshot(shard_index(shard),
+    const auto revision = PinShard(shard);
+    ok = SaveSnapshot(*revision->index,
                       SnapshotPath(dir, shard, num_shards_),
                       DatasetFingerprint(shard_datasets_[shard])) &&
          ok;
@@ -165,7 +218,8 @@ std::string ShardedIndex::SnapshotPath(const std::string& dir, uint32_t shard,
 GatIndex::MemoryBreakdown ShardedIndex::memory_breakdown() const {
   GatIndex::MemoryBreakdown total;
   for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    const auto b = shard_index(shard).memory_breakdown();
+    const auto revision = PinShard(shard);
+    const auto b = revision->index->memory_breakdown();
     total.hicl_memory += b.hicl_memory;
     total.hicl_disk += b.hicl_disk;
     total.itl_memory += b.itl_memory;

@@ -1,6 +1,7 @@
 #ifndef GAT_SHARD_SHARDED_INDEX_H_
 #define GAT_SHARD_SHARDED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -9,6 +10,7 @@
 #include "gat/engine/executor.h"
 #include "gat/index/gat_index.h"
 #include "gat/model/dataset.h"
+#include "gat/shard/index_handle.h"
 #include "gat/storage/block_cache.h"
 #include "gat/storage/mapped_snapshot.h"
 
@@ -65,7 +67,27 @@ struct ShardOptions {
 /// GatIndex over the inherited frame, snapshot-cache like any other
 /// shard, and answer every query with zero results.
 ///
-/// Thread-safety: immutable after the constructor returns, like GatIndex.
+/// ## Live reload
+///
+/// Each shard serves through an epoch-guarded `IndexHandle`:
+/// `PinShard` returns the current `ShardRevision` pinned for the
+/// caller's lifetime, and `ReloadShard` builds and validates an
+/// incoming snapshot *off the serving path*, then swaps it in
+/// atomically. In-flight searches finish on the revision they pinned;
+/// the retired revision — index, mapping, block-cached tier — is
+/// destroyed when its last reader drains, which unregisters its file
+/// from the shared `BlockCache` and purges its blocks (no stale block
+/// can ever be served to the successor mapping). A reload whose
+/// incoming snapshot is missing, corrupt, mis-configured or stamped
+/// with the wrong dataset fingerprint fails without touching the
+/// serving revision.
+///
+/// Thread-safety: the query path (all const members) is safe against
+/// any number of concurrent `ReloadShard` calls; `ReloadShard` itself
+/// may run concurrently for different shards (concurrent reloads of
+/// the *same* shard serialize only at the swap — last one wins, every
+/// intermediate revision drains normally). The partition
+/// (`shard_dataset`) never changes after construction.
 class ShardedIndex {
  public:
   /// Partitions `dataset` and builds (or snapshot-loads) all shard
@@ -80,7 +102,44 @@ class ShardedIndex {
   const GatConfig& config() const { return config_; }
 
   const Dataset& shard_dataset(uint32_t shard) const;
+
+  /// Unpinned view of the shard's current index — valid only while no
+  /// concurrent `ReloadShard` can retire it (construction-time callers,
+  /// benches and tests without a reloader). Live-reload paths must use
+  /// `PinShard`.
   const GatIndex& shard_index(uint32_t shard) const;
+
+  /// Pins the shard's current serving revision: index, mapping and disk
+  /// tier stay valid until the returned pointer is dropped, across any
+  /// number of reloads. Pins must not outlive the ShardedIndex (the
+  /// shard datasets the searchers also need live there).
+  std::shared_ptr<const ShardRevision> PinShard(uint32_t shard) const;
+
+  /// Epoch of the shard's serving revision (0 at construction, +1 per
+  /// completed reload).
+  uint64_t shard_epoch(uint32_t shard) const;
+
+  /// Hot-swaps `shard`'s serving index with the snapshot at
+  /// `snapshot_path`, without draining queries: the incoming file is
+  /// mapped (mmap mode) or deserialized (default mode) and fully
+  /// CRC/structurally validated off the serving path — on `executor`
+  /// when given, making the load multi-core — then swapped in
+  /// atomically. In-flight searches drain on the old revision, whose
+  /// blocks are purged from the shared cache on destruction. The
+  /// incoming snapshot must match the construction `GatConfig` and the
+  /// shard's dataset fingerprint (an *equivalent* snapshot keeps
+  /// serving bit-identical through the swap). Returns false — leaving
+  /// the old revision serving untouched — on any load failure.
+  bool ReloadShard(uint32_t shard, const std::string& snapshot_path,
+                   Executor* executor = nullptr);
+
+  /// Completed / failed `ReloadShard` calls over this index's lifetime.
+  uint64_t reloads_completed() const {
+    return reloads_completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t reloads_failed() const {
+    return reloads_failed_.load(std::memory_order_relaxed);
+  }
 
   /// Inverse of the round-robin partition: the parent-dataset ID of local
   /// trajectory `local` in `shard`.
@@ -108,8 +167,10 @@ class ShardedIndex {
   /// mmap mode unless a shard fell back to RAM, e.g. unwritable dir).
   uint32_t shards_mmap_served() const;
 
-  /// All shard indexes, in shard order — the handle a
-  /// `PrefetchScheduler` is built from.
+  /// All shard indexes, in shard order — the handle a static
+  /// `PrefetchScheduler` is built from. Unpinned, like `shard_index`;
+  /// under live reload build the scheduler over the ShardedIndex
+  /// itself (it pins per query).
   std::vector<const GatIndex*> shard_index_views() const;
 
   /// Wall-clock seconds of the whole construction (partition + parallel
@@ -123,13 +184,16 @@ class ShardedIndex {
   uint32_t num_shards_;
   GatConfig config_;
   std::vector<Dataset> shard_datasets_;
-  /// Exactly one of shard_indexes_[s] / mapped_[s] is set per shard:
-  /// heap-owned index (default mode, or mmap fallback) vs mapped
-  /// snapshot owning its index, mapping and tier.
-  std::vector<std::unique_ptr<GatIndex>> shard_indexes_;
-  std::vector<std::unique_ptr<MappedSnapshot>> mapped_;
+  /// Declared before the handles on purpose: every mapped revision's
+  /// disk tier unregisters from this cache in its destructor, so the
+  /// cache must outlive the last revision the handles drop.
   std::unique_ptr<BlockCache> cache_;  // shared budget, mmap mode only
+  /// One epoch-guarded swap point per shard; every revision holds
+  /// either a mapped snapshot (mmap mode) or a heap-owned index.
+  std::vector<IndexHandle> handles_;
   uint32_t loaded_from_snapshot_ = 0;
+  std::atomic<uint64_t> reloads_completed_{0};
+  std::atomic<uint64_t> reloads_failed_{0};
   double build_seconds_ = 0.0;
 };
 

@@ -1,6 +1,8 @@
 #include "gat/shard/sharded_searcher.h"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "gat/util/top_k.h"
 
@@ -9,13 +11,7 @@ namespace gat {
 ShardedSearcher::ShardedSearcher(const ShardedIndex& index,
                                  const GatSearchParams& params,
                                  Executor* executor)
-    : index_(index), executor_(executor) {
-  shard_searchers_.reserve(index.num_shards());
-  for (uint32_t shard = 0; shard < index.num_shards(); ++shard) {
-    shard_searchers_.push_back(std::make_unique<GatSearcher>(
-        index.shard_dataset(shard), index.shard_index(shard), params));
-  }
-}
+    : index_(index), params_(params), executor_(executor) {}
 
 ResultList ShardedSearcher::Search(const Query& query, size_t k,
                                    QueryKind kind, SearchStats* stats) const {
@@ -27,7 +23,14 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
   std::vector<ResultList> shard_results(num_shards);
   std::vector<SearchStats> shard_stats(stats != nullptr ? num_shards : 0);
   auto search_shard = [&](uint32_t shard) {
-    shard_results[shard] = shard_searchers_[shard]->Search(
+    // Pin for exactly this visit: the revision (and under mmap serving,
+    // its mapping and tier) cannot be retired under the search, however
+    // many ReloadShard swaps land meanwhile. The searcher itself is
+    // stack-local — revision-dependent state never outlives the pin.
+    const auto revision = index_.PinShard(shard);
+    const GatSearcher searcher(index_.shard_dataset(shard), *revision->index,
+                               params_);
+    shard_results[shard] = searcher.Search(
         query, k, kind, stats != nullptr ? &shard_stats[shard] : nullptr);
   };
 
@@ -60,6 +63,9 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
       slowest_branch = std::max(slowest_branch, s.CriticalDiskReads());
       sum_of_branches += s.CriticalDiskReads();
     }
+    // One revision pin per shard visit — deterministic, and the
+    // engine-level signal that serving went through the epoch guard.
+    stats->index_pins += num_shards;
     // Counters stay sums (deterministic totals); the disk critical path
     // models the overlap the fan-out actually buys: at most `threads`
     // branches are in flight at once, so the path is the slowest branch

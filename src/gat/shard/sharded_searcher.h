@@ -1,9 +1,7 @@
 #ifndef GAT_SHARD_SHARDED_SEARCHER_H_
 #define GAT_SHARD_SHARDED_SEARCHER_H_
 
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "gat/core/searcher.h"
 #include "gat/engine/executor.h"
@@ -13,8 +11,8 @@
 namespace gat {
 
 /// Top-k search over a ShardedIndex: fans each query out across every
-/// shard's GatSearcher and merges the per-shard top-k heaps into one
-/// global top-k.
+/// shard's index and merges the per-shard top-k heaps into one global
+/// top-k.
 ///
 /// The merge is exact and deterministic: each shard returns its true
 /// top-k by (distance, local ID); local IDs are mapped to global IDs and
@@ -23,6 +21,18 @@ namespace gat {
 /// distances depend only on (query, trajectory) — never on which shard a
 /// trajectory landed in — the merged result is bit-identical to running
 /// one GatSearcher over the unpartitioned dataset.
+///
+/// ## Live reload
+///
+/// Every shard visit pins the shard's current serving revision
+/// (`ShardedIndex::PinShard`) for exactly the duration of that visit
+/// and runs a stack-local `GatSearcher` over the pinned index, so a
+/// concurrent `ReloadShard` never invalidates an in-flight search: the
+/// old revision (index, mapping, block-cached tier) stays alive until
+/// its last reader drains. A swap to an *equivalent* snapshot is
+/// therefore invisible in the results — answers stay bit-identical
+/// through any number of mid-batch swaps. Each pin is counted in
+/// `SearchStats::index_pins` (a deterministic `num_shards` per query).
 ///
 /// ## Per-query shard parallelism
 ///
@@ -41,7 +51,8 @@ namespace gat {
 ///
 /// Thread-safety: implements the Searcher contract (const Search, all
 /// per-query state on the caller's stack), so one instance can back a
-/// whole QueryEngine pool at any engine thread count.
+/// whole QueryEngine pool at any engine thread count — concurrently
+/// with `ReloadShard` on the underlying index.
 class ShardedSearcher : public Searcher {
  public:
   /// `index` must outlive the searcher; so must `executor` when given
@@ -59,8 +70,8 @@ class ShardedSearcher : public Searcher {
 
  private:
   const ShardedIndex& index_;
+  GatSearchParams params_;
   Executor* executor_;  // null = sequential shard visits
-  std::vector<std::unique_ptr<GatSearcher>> shard_searchers_;
 };
 
 }  // namespace gat

@@ -98,8 +98,10 @@ MappedDiskTier::MappedDiskTier(const MappedFile* file, BlockCache* cache,
                                std::vector<uint32_t> block_crcs)
     : file_(file),
       cache_(cache),
-      file_id_(cache->RegisterFile()),
+      token_(cache->RegisterFile()),
       block_crcs_(std::move(block_crcs)) {}
+
+MappedDiskTier::~MappedDiskTier() { cache_->Unregister(token_); }
 
 void MappedDiskTier::ReadBlock(uint64_t block) const {
   const uint32_t bs = cache_->block_bytes();
@@ -126,14 +128,14 @@ void MappedDiskTier::Fetch(uint64_t offset, uint64_t bytes,
   const uint64_t first = offset / bs;
   const uint64_t last = (offset + bytes - 1) / bs;
   for (uint64_t b = first; b <= last; ++b) {
-    if (cache_->Touch(file_id_, b)) {
+    if (cache_->Touch(token_, b)) {
       counter->RecordBlockHit();
     } else {
       // Verify-then-publish: the block becomes visible as resident only
       // after its bytes passed the checksum, so a concurrent hit can
       // never consume unverified data.
       ReadBlock(b);
-      cache_->Publish(file_id_, b);
+      cache_->Publish(token_, b);
       counter->RecordBlockRead();
     }
   }
@@ -146,9 +148,9 @@ void MappedDiskTier::Prefetch(uint64_t offset, uint64_t bytes) const {
   const uint64_t first = offset / bs;
   const uint64_t last = (offset + bytes - 1) / bs;
   for (uint64_t b = first; b <= last; ++b) {
-    if (!cache_->Warm(file_id_, b)) {
+    if (!cache_->Warm(token_, b)) {
       ReadBlock(b);
-      cache_->Publish(file_id_, b);
+      cache_->Publish(token_, b);
     }
   }
 }
@@ -401,22 +403,63 @@ std::unique_ptr<MappedSnapshot> MappedSnapshot::Load(
   // One sweep over the mapping does double duty: the whole-payload CRC
   // gate (identical to LoadSnapshot's) and the per-block checksums the
   // tier verifies on every cache fill. This is the only full read the
-  // cold start performs — nothing disk-resident is materialized.
+  // cold start performs — nothing disk-resident is materialized. With
+  // an executor the sweep fans out as contiguous block-range tasks and
+  // the chunk CRCs are folded with Crc32Combine: every checksum — and
+  // therefore the accept/reject decision — is bit-identical to the
+  // sequential pass, but the per-file load is no longer single-core.
   const uint32_t bs = snap->cache_->block_bytes();
   const uint64_t num_blocks = (static_cast<uint64_t>(size) + bs - 1) / bs;
   std::vector<uint32_t> block_crcs(num_blocks);
-  uint32_t payload_crc = 0xFFFFFFFFu;
-  for (uint64_t b = 0; b < num_blocks; ++b) {
-    const uint64_t start = b * bs;
-    const size_t len = std::min<uint64_t>(bs, size - start);
-    block_crcs[b] = Crc32(data + start, len);
-    const uint64_t payload_start = std::max<uint64_t>(start, kHeaderBytes);
-    if (start + len > payload_start) {
-      payload_crc = Crc32Update(payload_crc, data + payload_start,
-                                start + len - payload_start);
+  auto sweep_chunk = [&](uint64_t first_block, uint64_t end_block,
+                         uint64_t* payload_len) {
+    // Conditioned CRC of this chunk's payload bytes (>= kHeaderBytes),
+    // plus every covered block's checksum.
+    uint32_t crc = 0xFFFFFFFFu;
+    *payload_len = 0;
+    for (uint64_t b = first_block; b < end_block; ++b) {
+      const uint64_t start = b * bs;
+      const size_t len = std::min<uint64_t>(bs, size - start);
+      block_crcs[b] = Crc32(data + start, len);
+      const uint64_t payload_start = std::max<uint64_t>(start, kHeaderBytes);
+      if (start + len > payload_start) {
+        crc = Crc32Update(crc, data + payload_start,
+                          start + len - payload_start);
+        *payload_len += start + len - payload_start;
+      }
     }
+    return crc ^ 0xFFFFFFFFu;
+  };
+
+  uint32_t payload_crc;
+  Executor* executor = options.executor;
+  // Below ~1 MiB of blocks the task submission would rival the scan.
+  constexpr uint64_t kParallelSweepMinBlocks = 256;
+  if (executor != nullptr && executor->threads() > 1 &&
+      num_blocks >= kParallelSweepMinBlocks) {
+    const uint64_t chunks =
+        std::min<uint64_t>(executor->threads(), num_blocks);
+    const uint64_t per_chunk = (num_blocks + chunks - 1) / chunks;
+    std::vector<uint32_t> chunk_crcs(chunks, 0);
+    std::vector<uint64_t> chunk_lens(chunks, 0);
+    TaskGroup group(*executor);
+    for (uint64_t c = 0; c < chunks; ++c) {
+      group.Submit([&, c] {
+        const uint64_t first = c * per_chunk;
+        const uint64_t end = std::min(num_blocks, first + per_chunk);
+        chunk_crcs[c] = sweep_chunk(first, end, &chunk_lens[c]);
+      });
+    }
+    group.Wait();
+    payload_crc = chunk_crcs[0];
+    for (uint64_t c = 1; c < chunks; ++c) {
+      payload_crc = snapshot_format::Crc32Combine(payload_crc, chunk_crcs[c],
+                                                  chunk_lens[c]);
+    }
+  } else {
+    uint64_t payload_len = 0;
+    payload_crc = sweep_chunk(0, num_blocks, &payload_len);
   }
-  payload_crc ^= 0xFFFFFFFFu;
   if (payload_crc != stored_crc) return nullptr;
 
   snap->tier_ = std::make_unique<MappedDiskTier>(&snap->file_, snap->cache_,

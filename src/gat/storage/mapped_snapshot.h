@@ -26,15 +26,24 @@ namespace gat {
 class MappedDiskTier final : public DiskTier {
  public:
   /// `file` and `cache` are non-owning and must outlive the tier (the
-  /// owning `MappedSnapshot` guarantees both).
+  /// owning `MappedSnapshot` guarantees both). Registers one file
+  /// namespace in the cache; the destructor unregisters it, purging
+  /// every block this mapping made resident — the invalidation that
+  /// makes hot-swapping a snapshot against a *shared* cache safe. The
+  /// caller owns the drain contract: no `Fetch`/`Prefetch` may be in
+  /// flight when the tier is destroyed (the epoch-pinned
+  /// `ShardRevision` of gat/shard enforces this on the serving path;
+  /// a straggler that slips through is dropped by the cache's
+  /// generation check rather than served stale).
   MappedDiskTier(const MappedFile* file, BlockCache* cache,
                  std::vector<uint32_t> block_crcs);
+  ~MappedDiskTier() override;
 
   void Fetch(uint64_t offset, uint64_t bytes,
              DiskAccessCounter* counter) const override;
   void Prefetch(uint64_t offset, uint64_t bytes) const override;
 
-  uint32_t file_id() const { return file_id_; }
+  const BlockFileToken& token() const { return token_; }
   const BlockCache& cache() const { return *cache_; }
 
  private:
@@ -45,7 +54,7 @@ class MappedDiskTier final : public DiskTier {
 
   const MappedFile* file_;
   BlockCache* cache_;
-  uint32_t file_id_;
+  BlockFileToken token_;
   std::vector<uint32_t> block_crcs_;
 };
 
@@ -57,7 +66,13 @@ struct MappedSnapshotOptions {
   /// Non-zero = require a matching stored dataset fingerprint (both
   /// sides must opt in, like LoadSnapshot).
   uint32_t expected_fingerprint = 0;
-  /// Fans the structural validation of the big sections out as tasks.
+  /// Fans the load's full-file CRC sweep (whole-payload gate + the
+  /// per-block checksums) *and* the structural validation of the big
+  /// sections out as executor tasks — the per-file load goes
+  /// multi-core, which is what keeps reload latency off the hot-swap
+  /// critical path. The accept/reject decision and every checksum are
+  /// bit-identical to the sequential sweep (chunk CRCs are folded with
+  /// Crc32Combine).
   Executor* executor = nullptr;
   /// Block cache to serve the disk tier through (non-owning — the way a
   /// sharded process shares one budget across every shard's mapping).

@@ -4,6 +4,7 @@
 
 #include "gat/common/check.h"
 #include "gat/index/itl.h"
+#include "gat/shard/sharded_index.h"
 
 namespace gat {
 
@@ -13,28 +14,43 @@ PrefetchScheduler::PrefetchScheduler(std::vector<const GatIndex*> indexes,
   for (const GatIndex* index : indexes_) GAT_CHECK(index != nullptr);
 }
 
+PrefetchScheduler::PrefetchScheduler(const ShardedIndex& index)
+    : sharded_(&index), cache_(index.block_cache()) {}
+
+uint64_t PrefetchScheduler::WarmIndex(const GatIndex& index,
+                                      const Query& query) const {
+  // Predicted candidates, deduplicated per index: the ITL lists of the
+  // leaf cell under each query point, restricted to that point's
+  // demanded activities — the rows the first retrieval rounds resolve.
+  std::vector<TrajectoryId> predicted;
+  for (const auto& qp : query.points()) {
+    const uint32_t leaf = index.grid().LeafCode(qp.location);
+    for (ActivityId a : qp.activities) {
+      const auto list = index.itl().Trajectories(leaf, a);
+      predicted.insert(predicted.end(), list.begin(), list.end());
+    }
+  }
+  std::sort(predicted.begin(), predicted.end());
+  predicted.erase(std::unique(predicted.begin(), predicted.end()),
+                  predicted.end());
+  if (predicted.size() > kMaxRowsPerQuery) {
+    predicted.resize(kMaxRowsPerQuery);
+  }
+  for (TrajectoryId t : predicted) index.apl().PrefetchRow(t);
+  return predicted.size();
+}
+
 void PrefetchScheduler::PrefetchQuery(const Query& query) const {
   uint64_t rows = 0;
-  for (const GatIndex* index : indexes_) {
-    // Predicted candidates, deduplicated per index: the ITL lists of the
-    // leaf cell under each query point, restricted to that point's
-    // demanded activities — the rows the first retrieval rounds resolve.
-    std::vector<TrajectoryId> predicted;
-    for (const auto& qp : query.points()) {
-      const uint32_t leaf = index->grid().LeafCode(qp.location);
-      for (ActivityId a : qp.activities) {
-        const auto list = index->itl().Trajectories(leaf, a);
-        predicted.insert(predicted.end(), list.begin(), list.end());
-      }
+  if (sharded_ != nullptr) {
+    for (uint32_t shard = 0; shard < sharded_->num_shards(); ++shard) {
+      // Pin for exactly this shard's sweep: a concurrent ReloadShard
+      // retires the revision only after the warm-up is done with it.
+      const auto revision = sharded_->PinShard(shard);
+      rows += WarmIndex(*revision->index, query);
     }
-    std::sort(predicted.begin(), predicted.end());
-    predicted.erase(std::unique(predicted.begin(), predicted.end()),
-                    predicted.end());
-    if (predicted.size() > kMaxRowsPerQuery) {
-      predicted.resize(kMaxRowsPerQuery);
-    }
-    for (TrajectoryId t : predicted) index->apl().PrefetchRow(t);
-    rows += predicted.size();
+  } else {
+    for (const GatIndex* index : indexes_) rows += WarmIndex(*index, query);
   }
   queries_.fetch_add(1, std::memory_order_relaxed);
   rows_warmed_.fetch_add(rows, std::memory_order_relaxed);

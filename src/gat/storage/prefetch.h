@@ -12,6 +12,8 @@
 
 namespace gat {
 
+class ShardedIndex;  // gat/shard; the pin-aware constructor below
+
 /// Executor-task-based APL prefetch for queued batch queries — the first
 /// real I/O overlap *between* the queries of a batch.
 ///
@@ -41,9 +43,19 @@ class PrefetchScheduler {
   /// `indexes` = one entry per shard (or a single index); `cache` is the
   /// block cache the batch stats should report (nullptr = none, e.g.
   /// purely simulated setups). All pointers are non-owning and must
-  /// outlive the scheduler.
+  /// outlive the scheduler. The indexes are fixed for the scheduler's
+  /// lifetime — for an index whose shards hot-swap, use the
+  /// ShardedIndex overload below.
   explicit PrefetchScheduler(std::vector<const GatIndex*> indexes,
                              const BlockCache* cache = nullptr);
+
+  /// Live-reload-safe variant: instead of fixed index pointers, each
+  /// query sweep pins every shard's *current* serving revision
+  /// (`ShardedIndex::PinShard`) for the duration of its warm-up, so the
+  /// scheduler keeps predicting and warming through any number of
+  /// `ReloadShard` swaps without ever touching a retired mapping. Batch
+  /// stats report the index's shared block cache (if any).
+  explicit PrefetchScheduler(const ShardedIndex& index);
 
   /// Warms the predicted APL rows of one query across every index.
   void PrefetchQuery(const Query& query) const;
@@ -69,7 +81,11 @@ class PrefetchScheduler {
   }
 
  private:
-  std::vector<const GatIndex*> indexes_;
+  /// Warms one query's predicted rows on one index.
+  uint64_t WarmIndex(const GatIndex& index, const Query& query) const;
+
+  std::vector<const GatIndex*> indexes_;    // static mode
+  const ShardedIndex* sharded_ = nullptr;   // pin-per-query mode
   const BlockCache* cache_;
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> rows_warmed_{0};

@@ -1,0 +1,511 @@
+// Tests for live snapshot reload: the BlockCache file-generation /
+// Unregister protocol, the parallel CRC sweep of MappedSnapshot::Load,
+// and the epoch-guarded hot-swap (ShardedIndex::ReloadShard +
+// PinShard) end to end.
+//
+// The load-bearing invariants:
+//   * Crc32Combine folds chunk CRCs to exactly the sequential checksum,
+//     so the parallel load sweep accepts/rejects identically;
+//   * Unregister purges every resident block of the retired mapping and
+//     the generation check makes a recycled file id airtight: a token
+//     kept past its Unregister can neither hit the successor's blocks
+//     nor resurrect its own — even racing the retirement;
+//   * ReloadShard swaps atomically under fire: queries hammering the
+//     index through any number of mid-flight equivalent-snapshot swaps
+//     stay bit-identical to the unsharded reference, old revisions
+//     drain before their blocks are purged, and a corrupted / truncated
+//     / missing / wrong-dataset incoming snapshot leaves the serving
+//     revision untouched.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/datagen/query_generator.h"
+#include "gat/engine/query_engine.h"
+#include "gat/index/snapshot.h"
+#include "gat/index/snapshot_format.h"
+#include "gat/search/gat_search.h"
+#include "gat/shard/sharded_index.h"
+#include "gat/shard/sharded_searcher.h"
+#include "gat/storage/block_cache.h"
+#include "gat/storage/mapped_snapshot.h"
+#include "gat/storage/prefetch.h"
+#include "gat/util/rng.h"
+
+namespace gat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Query> TestQueries(const Dataset& dataset, uint64_t seed,
+                               uint32_t count = 6) {
+  QueryWorkloadParams wp;
+  wp.num_queries = count;
+  wp.seed = seed;
+  QueryGenerator qgen(dataset, wp);
+  return qgen.Workload();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Crc32Combine
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Combine, FoldsChunksToTheSequentialChecksum) {
+  using snapshot_format::Crc32;
+  using snapshot_format::Crc32Combine;
+  Rng rng(20130715);
+  std::string data(10000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.NextU32(256));
+
+  const uint32_t whole = Crc32(data.data(), data.size());
+  // Every split point of a two-chunk fold, strided; plus degenerate
+  // empty chunks on either side.
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{511}, size_t{512},
+                     size_t{4096}, data.size() - 1, data.size()}) {
+    const uint32_t a = Crc32(data.data(), cut);
+    const uint32_t b = Crc32(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(Crc32Combine(a, b, data.size() - cut), whole) << cut;
+  }
+  // Many-chunk fold at an awkward stride, like the load sweep's.
+  const size_t stride = 739;
+  uint32_t folded = Crc32(data.data(), std::min(stride, data.size()));
+  for (size_t pos = stride; pos < data.size(); pos += stride) {
+    const size_t len = std::min(stride, data.size() - pos);
+    folded = Crc32Combine(folded, Crc32(data.data() + pos, len), len);
+  }
+  EXPECT_EQ(folded, whole);
+}
+
+// ---------------------------------------------------------------------------
+// BlockCache: Unregister + file generations
+// ---------------------------------------------------------------------------
+
+TEST(BlockCacheReload, UnregisterPurgesEveryResidentBlock) {
+  BlockCache cache(BlockCacheConfig{.block_bytes = 512,
+                                    .capacity_bytes = 64 * 512,
+                                    .shards = 4});
+  const BlockFileToken keep = cache.RegisterFile();
+  const BlockFileToken retire = cache.RegisterFile();
+  for (uint64_t b = 0; b < 8; ++b) {
+    cache.Publish(keep, b);
+    cache.Publish(retire, b);
+  }
+  ASSERT_EQ(cache.ResidentBlocks(), 16u);
+
+  cache.Unregister(retire);
+  const BlockCacheStats stats = cache.Snapshot();
+  EXPECT_EQ(stats.invalidated, 8u);
+  EXPECT_EQ(stats.files_retired, 1u);
+  EXPECT_EQ(cache.ResidentBlocks(), 8u);  // the other file is untouched
+  for (uint64_t b = 0; b < 8; ++b) {
+    EXPECT_TRUE(cache.Touch(keep, b));
+  }
+  // Idempotent: re-retiring the same token is a counted no-op.
+  cache.Unregister(retire);
+  EXPECT_EQ(cache.Snapshot().files_retired, 1u);
+}
+
+TEST(BlockCacheReload, FileIdReuseAcrossGenerationsCannotAlias) {
+  BlockCache cache(BlockCacheConfig{.block_bytes = 512,
+                                    .capacity_bytes = 64 * 512,
+                                    .shards = 1});
+  const BlockFileToken old_gen = cache.RegisterFile();
+  for (uint64_t b = 0; b < 4; ++b) cache.Publish(old_gen, b);
+  cache.Unregister(old_gen);
+
+  // The slot recycles: same id, newer generation.
+  const BlockFileToken new_gen = cache.RegisterFile();
+  ASSERT_EQ(new_gen.id, old_gen.id);
+  ASSERT_NE(new_gen.generation, old_gen.generation);
+
+  // The successor namespace starts empty — nothing of the old
+  // generation survived the purge.
+  for (uint64_t b = 0; b < 4; ++b) {
+    EXPECT_FALSE(cache.Touch(new_gen, b));
+  }
+  // A straggler still holding the retired token: lookups always miss
+  // (they may be aliased by the successor's blocks) and publishes are
+  // dropped (they would resurrect purged blocks into the recycled id).
+  cache.Publish(new_gen, 0);
+  EXPECT_FALSE(cache.Touch(old_gen, 0));   // resident for new_gen only
+  cache.Publish(old_gen, 1);               // dropped
+  EXPECT_FALSE(cache.Touch(new_gen, 1));
+  EXPECT_FALSE(cache.Warm(old_gen, 0));
+  EXPECT_GT(cache.Snapshot().stale_drops, 0u);
+  // The successor's own view is exact.
+  EXPECT_TRUE(cache.Touch(new_gen, 0));
+}
+
+TEST(BlockCacheReload, ConcurrentStaleOpsNeverLeakIntoTheSuccessor) {
+  // TSan exercise of the retire/lookup race: workers hammer a token
+  // while the main thread unregisters it and recycles the id. The
+  // generation re-check under the shard mutex must drop every straggler
+  // operation — after the dust settles, nothing of the old generation
+  // is resident.
+  BlockCache cache(BlockCacheConfig{.block_bytes = 512,
+                                    .capacity_bytes = 4096 * 512,
+                                    .shards = 8});
+  const BlockFileToken old_gen = cache.RegisterFile();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, old_gen, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t block = (static_cast<uint64_t>(t) << 8) | (i % 64);
+        if (!cache.Touch(old_gen, block)) cache.Publish(old_gen, block);
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cache.Unregister(old_gen);  // racing the workers, by design
+  const BlockFileToken new_gen = cache.RegisterFile();
+  ASSERT_EQ(new_gen.id, old_gen.id);
+  // Successor registered while stragglers still fire: its namespace
+  // must be (and stay) empty until it publishes something itself.
+  for (uint64_t b = 0; b < 64; ++b) {
+    EXPECT_FALSE(cache.Touch(new_gen, b));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  // Deterministic stale ops on top of whatever the workers raced in
+  // (on a loaded machine they may all have parked across the retire
+  // window): a retired token neither hits nor inserts.
+  cache.Publish(old_gen, 0);
+  EXPECT_FALSE(cache.Touch(old_gen, 0));
+  EXPECT_EQ(cache.ResidentBlocks(), 0u);
+  EXPECT_GT(cache.Snapshot().stale_drops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MappedSnapshot: parallel CRC sweep
+// ---------------------------------------------------------------------------
+
+TEST(ParallelCrcSweep, AcceptsAndServesBitIdentically) {
+  // 512-byte blocks over a ~200 KiB snapshot = ~400 blocks, past the
+  // parallel-sweep threshold, so the executor path actually fans out.
+  const Dataset dataset = GenerateCity(CityProfile::Testing(400, 7));
+  const GatIndex built(dataset, GatConfig{.depth = 5, .memory_levels = 3});
+  const std::string path = TempPath("parallel_crc.gats");
+  ASSERT_TRUE(SaveSnapshot(built, path));
+  ASSERT_GE(std::filesystem::file_size(path), 512u * 256u);
+
+  Executor executor(4);
+  MappedSnapshotOptions parallel_options;
+  parallel_options.executor = &executor;
+  parallel_options.cache_config.block_bytes = 512;
+  const auto parallel = MappedSnapshot::Load(path, parallel_options);
+  MappedSnapshotOptions sequential_options;
+  sequential_options.cache_config.block_bytes = 512;
+  const auto sequential = MappedSnapshot::Load(path, sequential_options);
+  ASSERT_NE(parallel, nullptr);
+  ASSERT_NE(sequential, nullptr);
+
+  const GatSearcher a(dataset, sequential->index());
+  const GatSearcher b(dataset, parallel->index());
+  for (const Query& q : TestQueries(dataset, 99, 5)) {
+    SearchStats sa, sb;
+    ASSERT_EQ(a.Search(q, 9, QueryKind::kAtsq, &sa),
+              b.Search(q, 9, QueryKind::kAtsq, &sb));
+    // Identical per-block checksums too: the demand path verifies each
+    // filled block against them, so serving through the parallel-swept
+    // snapshot is the proof they match.
+    EXPECT_EQ(sb.disk_reads, sa.disk_reads);
+    EXPECT_EQ(sb.blocks_read, sa.blocks_read);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParallelCrcSweep, RejectsCorruptionIdenticallyToSequential) {
+  const Dataset dataset = GenerateCity(CityProfile::Testing(400, 11));
+  const GatIndex built(dataset, GatConfig{.depth = 5, .memory_levels = 3});
+  const std::string path = TempPath("parallel_crc_bad.gats");
+  ASSERT_TRUE(SaveSnapshot(built, path));
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), 512u * 256u);
+
+  Executor executor(4);
+  const std::string mutated = TempPath("parallel_crc_mutated.gats");
+  for (size_t pos = 16; pos < bytes.size(); pos += bytes.size() / 7) {
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x5C);
+    WriteFileBytes(mutated, copy);
+    MappedSnapshotOptions options;
+    options.executor = &executor;
+    options.cache_config.block_bytes = 512;
+    EXPECT_EQ(MappedSnapshot::Load(mutated, options), nullptr)
+        << "byte " << pos << " flipped";
+  }
+  std::remove(mutated.c_str());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedIndex::ReloadShard
+// ---------------------------------------------------------------------------
+
+struct ReloadFixture {
+  explicit ReloadFixture(const std::string& name, uint32_t num_shards,
+                         bool mmap)
+      : dataset(GenerateCity(CityProfile::Testing(240, 61))),
+        dir(TempPath(name)) {
+    std::error_code ec;  // a crashed previous run may have left the dir
+    std::filesystem::remove_all(dir, ec);
+    ShardOptions options;
+    options.num_shards = num_shards;
+    options.build_threads = 1;
+    options.snapshot_dir = dir;
+    options.mmap_disk_tier = mmap;
+    options.cache_config.block_bytes = 1024;
+    options.cache_config.capacity_bytes = 1 << 20;
+    sharded = std::make_unique<ShardedIndex>(dataset, GatConfig{}, options);
+    // A second byte-identical generation of every shard snapshot — the
+    // "incoming" files a rolling reload serves next.
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      gen_a.push_back(ShardedIndex::SnapshotPath(dir, shard, num_shards));
+      gen_b.push_back(dir + "/incoming-" + std::to_string(shard) + ".gats");
+      std::filesystem::copy_file(gen_a.back(), gen_b.back());
+    }
+  }
+  ~ReloadFixture() {
+    std::error_code ec;
+    sharded.reset();
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  Dataset dataset;
+  std::string dir;
+  std::unique_ptr<ShardedIndex> sharded;
+  std::vector<std::string> gen_a, gen_b;
+};
+
+TEST(ReloadShard, EquivalentSwapKeepsAnswersAndPurgesTheOldMapping) {
+  ReloadFixture fx("reload_equivalent", 2, /*mmap=*/true);
+  const GatIndex single(fx.dataset);
+  const GatSearcher reference(fx.dataset, single);
+  const ShardedSearcher searcher(*fx.sharded);
+  const auto queries = TestQueries(fx.dataset, 71);
+
+  ASSERT_EQ(fx.sharded->shard_epoch(0), 0u);
+  const uint64_t retired_before =
+      fx.sharded->block_cache()->Snapshot().files_retired;
+
+  // Warm the cache through the current generation, then swap both
+  // shards and verify: epochs bumped, old mappings retired (their
+  // blocks purged), answers unchanged.
+  for (const Query& q : queries) {
+    SearchStats stats;
+    ASSERT_EQ(searcher.Search(q, 9, QueryKind::kAtsq, &stats),
+              reference.Search(q, 9, QueryKind::kAtsq));
+    EXPECT_EQ(stats.index_pins, 2u);  // one pin per shard visit
+  }
+  ASSERT_TRUE(fx.sharded->ReloadShard(0, fx.gen_b[0]));
+  ASSERT_TRUE(fx.sharded->ReloadShard(1, fx.gen_b[1]));
+  EXPECT_EQ(fx.sharded->shard_epoch(0), 1u);
+  EXPECT_EQ(fx.sharded->shard_epoch(1), 1u);
+  EXPECT_EQ(fx.sharded->reloads_completed(), 2u);
+  EXPECT_EQ(fx.sharded->reloads_failed(), 0u);
+  EXPECT_EQ(fx.sharded->shards_mmap_served(), 2u);
+
+  const BlockCacheStats stats = fx.sharded->block_cache()->Snapshot();
+  EXPECT_EQ(stats.files_retired, retired_before + 2);
+  EXPECT_GT(stats.invalidated, 0u);  // the warmed blocks were purged
+
+  for (const Query& q : queries) {
+    ASSERT_EQ(searcher.Search(q, 9, QueryKind::kAtsq),
+              reference.Search(q, 9, QueryKind::kAtsq));
+  }
+}
+
+TEST(ReloadShard, PinnedRevisionSurvivesTheSwapAndDrainsOnRelease) {
+  ReloadFixture fx("reload_pin", 1, /*mmap=*/true);
+  const auto queries = TestQueries(fx.dataset, 31, 3);
+  const GatIndex single(fx.dataset);
+  const GatSearcher reference(fx.dataset, single);
+
+  auto pinned = fx.sharded->PinShard(0);
+  ASSERT_EQ(pinned->epoch, 0u);
+  const uint64_t retired_before =
+      fx.sharded->block_cache()->Snapshot().files_retired;
+
+  ASSERT_TRUE(fx.sharded->ReloadShard(0, fx.gen_b[0]));
+  EXPECT_EQ(fx.sharded->shard_epoch(0), 1u);
+
+  // The pinned (retired) revision still serves, bit-identically — its
+  // mapping and tier cannot be torn down under the reader.
+  const GatSearcher old_reader(fx.sharded->shard_dataset(0), *pinned->index);
+  for (const Query& q : queries) {
+    EXPECT_EQ(old_reader.Search(q, 9, QueryKind::kAtsq),
+              reference.Search(q, 9, QueryKind::kAtsq));
+  }
+  // Not until the last pin drops is the old mapping unregistered.
+  EXPECT_EQ(fx.sharded->block_cache()->Snapshot().files_retired,
+            retired_before);
+  pinned.reset();
+  EXPECT_EQ(fx.sharded->block_cache()->Snapshot().files_retired,
+            retired_before + 1);
+}
+
+TEST(ReloadShard, CorruptedIncomingSnapshotLeavesTheOldServing) {
+  ReloadFixture fx("reload_corrupt", 1, /*mmap=*/true);
+  const auto queries = TestQueries(fx.dataset, 43, 3);
+  const GatIndex single(fx.dataset);
+  const GatSearcher reference(fx.dataset, single);
+  const ShardedSearcher searcher(*fx.sharded);
+
+  // Corrupt, truncated, missing, and wrong-dataset incoming files: all
+  // must fail the reload without touching the serving revision.
+  const std::string bytes = ReadFileBytes(fx.gen_b[0]);
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x5C;
+  const std::string corrupt_path = fx.dir + "/corrupt.gats";
+  WriteFileBytes(corrupt_path, corrupt);
+  EXPECT_FALSE(fx.sharded->ReloadShard(0, corrupt_path));
+
+  const std::string truncated_path = fx.dir + "/truncated.gats";
+  WriteFileBytes(truncated_path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(fx.sharded->ReloadShard(0, truncated_path));
+
+  EXPECT_FALSE(fx.sharded->ReloadShard(0, fx.dir + "/missing.gats"));
+
+  // A valid snapshot of a *different* dataset: the fingerprint gate.
+  const Dataset other = GenerateCity(CityProfile::Testing(120, 5));
+  const GatIndex other_index(other);
+  const std::string other_path = fx.dir + "/other.gats";
+  ASSERT_TRUE(SaveSnapshot(other_index, other_path,
+                           DatasetFingerprint(other)));
+  EXPECT_FALSE(fx.sharded->ReloadShard(0, other_path));
+
+  EXPECT_EQ(fx.sharded->reloads_failed(), 4u);
+  EXPECT_EQ(fx.sharded->reloads_completed(), 0u);
+  EXPECT_EQ(fx.sharded->shard_epoch(0), 0u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(searcher.Search(q, 9, QueryKind::kAtsq),
+              reference.Search(q, 9, QueryKind::kAtsq));
+  }
+}
+
+TEST(ReloadShard, StreamModeReloadsWithoutAnMmapTier) {
+  // snapshot_dir without mmap_disk_tier: revisions are heap-owned
+  // indexes and ReloadShard goes through the stream loader — the epoch
+  // guard is tier-independent.
+  ReloadFixture fx("reload_stream", 2, /*mmap=*/false);
+  ASSERT_EQ(fx.sharded->block_cache(), nullptr);
+  const GatIndex single(fx.dataset);
+  const GatSearcher reference(fx.dataset, single);
+  const ShardedSearcher searcher(*fx.sharded);
+  const auto queries = TestQueries(fx.dataset, 83, 4);
+
+  ASSERT_TRUE(fx.sharded->ReloadShard(0, fx.gen_b[0]));
+  ASSERT_TRUE(fx.sharded->ReloadShard(1, fx.gen_b[1]));
+  EXPECT_EQ(fx.sharded->shard_epoch(0), 1u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(searcher.Search(q, 9, QueryKind::kAtsq),
+              reference.Search(q, 9, QueryKind::kAtsq));
+  }
+}
+
+TEST(ReloadShard, QueriesStayBitIdenticalUnderContinuousSwaps) {
+  // The TSan centerpiece: searchers (with executor fan-out and a
+  // pin-aware prefetcher) hammer the index from several threads while a
+  // reloader rolls equivalent snapshots across both shards. Every
+  // answer must equal the precomputed reference; afterwards, every
+  // retired generation must have been unregistered from the cache.
+  ReloadFixture fx("reload_race", 2, /*mmap=*/true);
+  const GatIndex single(fx.dataset);
+  const GatSearcher reference(fx.dataset, single);
+  const auto queries = TestQueries(fx.dataset, 71, 4);
+  std::vector<ResultList> expected;
+  for (const Query& q : queries) {
+    expected.push_back(reference.Search(q, 9, QueryKind::kAtsq));
+  }
+
+  Executor executor(4);
+  const ShardedSearcher searcher(*fx.sharded, {}, &executor);
+  const PrefetchScheduler prefetcher(*fx.sharded);  // pins per query
+
+  constexpr int kReloadsPerShard = 12;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> diverged{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t i = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t qi = i++ % queries.size();
+        if (i % 7 == 0) prefetcher.PrefetchQuery(queries[qi]);
+        SearchStats stats;
+        if (searcher.Search(queries[qi], 9, QueryKind::kAtsq, &stats) !=
+                expected[qi] ||
+            stats.index_pins != 2) {
+          diverged.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (int round = 0; round < kReloadsPerShard; ++round) {
+    for (uint32_t shard = 0; shard < 2; ++shard) {
+      const auto& path =
+          round % 2 == 0 ? fx.gen_b[shard] : fx.gen_a[shard];
+      ASSERT_TRUE(fx.sharded->ReloadShard(shard, path, &executor));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(diverged.load());
+  EXPECT_EQ(fx.sharded->reloads_completed(), 2u * kReloadsPerShard);
+  EXPECT_EQ(fx.sharded->reloads_failed(), 0u);
+  EXPECT_EQ(fx.sharded->shard_epoch(0), kReloadsPerShard);
+
+  // Every retired generation drained and unregistered: only the two
+  // currently-serving mappings remain live in the cache.
+  const BlockCacheStats stats = fx.sharded->block_cache()->Snapshot();
+  EXPECT_EQ(stats.files_retired, 2u * kReloadsPerShard);
+
+  // And the engine view: a batch run across a final pair of swaps is
+  // bit-identical, with the cache's invalidation deltas visible in the
+  // batch storage stats.
+  const QueryEngine engine(
+      searcher, EngineOptions{.executor = &executor,
+                              .prefetcher = &prefetcher});
+  const uint64_t invalidated_before =
+      fx.sharded->block_cache()->Snapshot().invalidated;
+  std::thread swapper([&] {
+    ASSERT_TRUE(fx.sharded->ReloadShard(0, fx.gen_b[0]));
+    ASSERT_TRUE(fx.sharded->ReloadShard(1, fx.gen_b[1]));
+  });
+  const BatchResult batch = engine.Run(queries, 9, QueryKind::kAtsq);
+  swapper.join();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch.results[i], expected[i]);
+  }
+  EXPECT_TRUE(batch.storage.present);
+  const uint64_t invalidated_after =
+      fx.sharded->block_cache()->Snapshot().invalidated;
+  EXPECT_GE(invalidated_after, invalidated_before);
+}
+
+}  // namespace
+}  // namespace gat

@@ -115,7 +115,8 @@ TEST(MappedFile, MoveTransfersTheMapping) {
 
 /// The tier's demand protocol: a missed block is published only after
 /// the (test-elided) read-and-verify step.
-bool TouchAndPublish(BlockCache& cache, uint32_t file, uint64_t block) {
+bool TouchAndPublish(BlockCache& cache, const BlockFileToken& file,
+                     uint64_t block) {
   const bool hit = cache.Touch(file, block);
   if (!hit) cache.Publish(file, block);
   return hit;
@@ -128,7 +129,7 @@ TEST(BlockCache, LruEvictionAndExactStats) {
   config.shards = 1;                // one LRU list: order fully observable
   BlockCache cache(config);
   ASSERT_EQ(cache.capacity_blocks(), 2u);
-  const uint32_t file = cache.RegisterFile();
+  const BlockFileToken file = cache.RegisterFile();
 
   EXPECT_FALSE(TouchAndPublish(cache, file, 0));  // miss, resident {0}
   EXPECT_FALSE(TouchAndPublish(cache, file, 1));  // miss, resident {0,1}
@@ -152,7 +153,7 @@ TEST(BlockCache, MissIsNotResidentUntilPublished) {
   BlockCache cache(BlockCacheConfig{.block_bytes = 512,
                                     .capacity_bytes = 8 * 512,
                                     .shards = 1});
-  const uint32_t file = cache.RegisterFile();
+  const BlockFileToken file = cache.RegisterFile();
   EXPECT_FALSE(cache.Touch(file, 5));  // miss — not yet published
   EXPECT_FALSE(cache.Touch(file, 5));  // still a miss
   EXPECT_EQ(cache.ResidentBlocks(), 0u);
@@ -166,7 +167,7 @@ TEST(BlockCache, WarmCountsSeparatelyFromDemand) {
   BlockCache cache(BlockCacheConfig{.block_bytes = 512,
                                     .capacity_bytes = 8 * 512,
                                     .shards = 1});
-  const uint32_t file = cache.RegisterFile();
+  const BlockFileToken file = cache.RegisterFile();
   EXPECT_FALSE(cache.Warm(file, 3));  // prefetch fill...
   cache.Publish(file, 3);             // ...published after the read
   EXPECT_TRUE(cache.Warm(file, 3));   // prefetch re-touch
@@ -181,9 +182,9 @@ TEST(BlockCache, WarmCountsSeparatelyFromDemand) {
 TEST(BlockCache, FilesDoNotAliasEachOthersBlocks) {
   BlockCache cache(BlockCacheConfig{.block_bytes = 512,
                                     .capacity_bytes = 64 * 512});
-  const uint32_t a = cache.RegisterFile();
-  const uint32_t b = cache.RegisterFile();
-  ASSERT_NE(a, b);
+  const BlockFileToken a = cache.RegisterFile();
+  const BlockFileToken b = cache.RegisterFile();
+  ASSERT_NE(a.id, b.id);
   EXPECT_FALSE(TouchAndPublish(cache, a, 7));
   EXPECT_FALSE(TouchAndPublish(cache, b, 7));  // same index, other file
   EXPECT_TRUE(TouchAndPublish(cache, a, 7));
@@ -194,7 +195,7 @@ TEST(BlockCache, ConcurrentTouchesKeepExactTotals) {
   BlockCache cache(BlockCacheConfig{.block_bytes = 512,
                                     .capacity_bytes = 4096 * 512,
                                     .shards = 8});
-  const uint32_t file = cache.RegisterFile();
+  const BlockFileToken file = cache.RegisterFile();
   constexpr int kThreads = 4;
   constexpr uint64_t kTouches = 2000;
   std::vector<std::thread> threads;
