@@ -18,6 +18,14 @@
 //   --max-repeat M   hard cap on timed batches        (GAT_BENCH_MAX_REPEAT, 5)
 //   --json PATH      output path (default BENCH_<name>.json in the cwd)
 //
+// Open-loop serving benches (bench_serving) extend the protocol with
+// append-only fields — closed-loop benches ignore them:
+//
+//   --arrival-rate R offered load in requests/s at 1x (GAT_BENCH_ARRIVAL_RATE)
+//   --virtual-time   drive arrivals on a simulated clock, making the
+//                    admission/deadline counters machine-independent
+//                    (GAT_BENCH_VIRTUAL_TIME=1)
+//
 // Scale and query count of the workloads stay tunable via environment
 // variables so the same binary covers quick smoke runs and full-size
 // reproductions:
@@ -87,6 +95,14 @@ struct BenchProtocol {
   double target_rsd_pct = 5.0;
   uint32_t max_repeat = 5;
   std::string json_path;  // empty = BENCH_<name>.json in the cwd
+  /// Open-loop extension (append-only): offered load at 1x in
+  /// requests/s. 0 = not an open-loop bench (the field is then absent
+  /// from the JSON protocol block, keeping old artifacts byte-stable).
+  double arrival_rate = 0.0;
+  /// Open-loop extension: arrivals ride a simulated clock instead of
+  /// wall time, so admission/deadline counters are exact across
+  /// machines and thread counts.
+  bool virtual_time = false;
 
   static BenchProtocol FromArgs(int argc, char** argv) {
     BenchProtocol p;
@@ -102,6 +118,13 @@ struct BenchProtocol {
     if (const char* s = std::getenv("GAT_BENCH_TARGET_RSD")) {
       const double v = std::atof(s);
       if (v > 0.0) p.target_rsd_pct = v;
+    }
+    if (const char* s = std::getenv("GAT_BENCH_ARRIVAL_RATE")) {
+      const double v = std::atof(s);
+      if (v > 0.0) p.arrival_rate = v;
+    }
+    if (const char* s = std::getenv("GAT_BENCH_VIRTUAL_TIME")) {
+      p.virtual_time = std::atoi(s) != 0;
     }
     for (int i = 1; i < argc; ++i) {
       auto value = [&](const char* flag) -> const char* {
@@ -136,10 +159,19 @@ struct BenchProtocol {
         p.max_repeat = non_negative("--max-repeat", v);
       } else if (const char* v = value("--json")) {
         p.json_path = v;
+      } else if (const char* v = value("--arrival-rate")) {
+        p.arrival_rate = std::atof(v);
+        if (p.arrival_rate < 0.0) {
+          std::fprintf(stderr, "invalid value for --arrival-rate: %s\n", v);
+          std::exit(2);
+        }
+      } else if (std::strcmp(argv[i], "--virtual-time") == 0) {
+        p.virtual_time = true;
       } else {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads N] [--warmup W] "
-                     "[--target-rsd P] [--max-repeat M] [--json PATH]\n",
+                     "[--target-rsd P] [--max-repeat M] [--json PATH] "
+                     "[--arrival-rate R] [--virtual-time]\n",
                      argv[i], argv[0]);
         std::exit(2);
       }
@@ -244,6 +276,15 @@ struct Measurement {
   bool has_reload = false;
   uint64_t shard_reloads = 0;
   uint64_t invalidated_blocks = 0;
+  /// Serving observability (bench_serving): front-door outcomes of one
+  /// open-loop run. Under --virtual-time the counters are exact
+  /// (machine- and thread-count-independent) and bench_diff.py gates
+  /// them; goodput is completions per virtual second.
+  bool has_serving = false;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_misses = 0;
+  double goodput_qps = 0.0;
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
@@ -350,6 +391,12 @@ class BenchReport {
   BenchReport(std::string name, const BenchProtocol& proto)
       : name_(std::move(name)), proto_(proto) {}
 
+  /// Replaces the protocol block the report will emit. For benches that
+  /// resolve protocol defaults after construction (e.g. bench_serving
+  /// substituting its default --arrival-rate), so the JSON records what
+  /// actually ran.
+  void OverrideProtocol(const BenchProtocol& proto) { proto_ = proto; }
+
   /// Records one measured point. `ops` is the number of operations behind
   /// one repeat (usually the workload's query count). `shards` > 0 stamps
   /// the record with the shard count behind it; scripts/bench_diff.py
@@ -386,6 +433,11 @@ class BenchReport {
     rec.has_reload = m.has_reload;
     rec.shard_reloads = m.shard_reloads;
     rec.invalidated_blocks = m.invalidated_blocks;
+    rec.has_serving = m.has_serving;
+    rec.admitted = m.admitted;
+    rec.shed = m.shed;
+    rec.deadline_misses = m.deadline_misses;
+    rec.goodput_qps = m.goodput_qps;
     records_.push_back(std::move(rec));
   }
 
@@ -422,10 +474,17 @@ class BenchReport {
                  "  \"protocol\": {\"threads\": %u, \"warmup\": %u, "
                  "\"target_rsd_pct\": %g, \"max_repeat\": %u, "
                  "\"scale\": %g, \"queries_per_point\": %u, "
-                 "\"disk_penalty_ms\": %g},\n",
+                 "\"disk_penalty_ms\": %g",
                  proto_.threads, proto_.warmup, proto_.target_rsd_pct,
                  proto_.max_repeat, ScaleFromEnv(), QueriesFromEnv(),
                  DiskPenaltyMsFromEnv());
+    // Open-loop extension fields, append-only: absent for closed-loop
+    // benches so every pre-existing artifact stays byte-stable.
+    if (proto_.arrival_rate > 0.0) {
+      std::fprintf(f, ", \"arrival_rate\": %g", proto_.arrival_rate);
+    }
+    if (proto_.virtual_time) std::fprintf(f, ", \"virtual_time\": true");
+    std::fprintf(f, "},\n");
     std::fprintf(f, "  \"results\": [");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
@@ -466,6 +525,18 @@ class BenchReport {
                         "\"invalidated_blocks\": %llu",
                      static_cast<unsigned long long>(r.shard_reloads),
                      static_cast<unsigned long long>(r.invalidated_blocks));
+      }
+      if (r.has_serving) {
+        // Front-door outcomes of one open-loop point. Exact under
+        // --virtual-time (bench_diff.py gates them); goodput is
+        // advisory either way.
+        std::fprintf(f,
+                     ", \"admitted\": %llu, \"shed_count\": %llu, "
+                     "\"deadline_misses\": %llu, \"goodput_qps\": %.6f",
+                     static_cast<unsigned long long>(r.admitted),
+                     static_cast<unsigned long long>(r.shed),
+                     static_cast<unsigned long long>(r.deadline_misses),
+                     r.goodput_qps);
       }
       if (r.has_cache) {
         // Block-cache fields (mmap disk tier): `blocks_read` is the
@@ -516,6 +587,11 @@ class BenchReport {
     bool has_reload = false;   // reload fields below are meaningful
     uint64_t shard_reloads = 0;
     uint64_t invalidated_blocks = 0;
+    bool has_serving = false;  // serving fields below are meaningful
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t deadline_misses = 0;
+    double goodput_qps = 0.0;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -13,8 +13,8 @@ BruteForceSearcher::BruteForceSearcher(const Dataset& dataset)
 }
 
 ResultList BruteForceSearcher::Search(const Query& query, size_t k,
-                                      QueryKind kind,
-                                      SearchStats* stats) const {
+                                      QueryKind kind, SearchStats* stats,
+                                      const QueryContext* /*context*/) const {
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
   st.Reset();

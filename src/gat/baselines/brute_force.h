@@ -14,7 +14,8 @@ class BruteForceSearcher : public Searcher {
   explicit BruteForceSearcher(const Dataset& dataset);
 
   ResultList Search(const Query& query, size_t k, QueryKind kind,
-                    SearchStats* stats = nullptr) const override;
+                    SearchStats* stats = nullptr,
+                    const QueryContext* context = nullptr) const override;
   std::string name() const override { return "BF"; }
 
  private:

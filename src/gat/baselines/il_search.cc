@@ -57,7 +57,8 @@ size_t IlSearcher::IndexBytes() const {
 }
 
 ResultList IlSearcher::Search(const Query& query, size_t k, QueryKind kind,
-                              SearchStats* stats) const {
+                              SearchStats* stats,
+                              const QueryContext* /*context*/) const {
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
   st.Reset();

@@ -20,7 +20,8 @@ class IlSearcher : public Searcher {
   explicit IlSearcher(const Dataset& dataset);
 
   ResultList Search(const Query& query, size_t k, QueryKind kind,
-                    SearchStats* stats = nullptr) const override;
+                    SearchStats* stats = nullptr,
+                    const QueryContext* context = nullptr) const override;
   std::string name() const override { return "IL"; }
 
   /// Trajectories containing every activity in `activities` (sorted IDs).

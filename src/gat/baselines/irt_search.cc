@@ -25,7 +25,8 @@ IrtSearcher::IrtSearcher(const Dataset& dataset, uint32_t batch,
 }
 
 ResultList IrtSearcher::Search(const Query& query, size_t k, QueryKind kind,
-                               SearchStats* stats) const {
+                               SearchStats* stats,
+                               const QueryContext* /*context*/) const {
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
   st.Reset();

@@ -24,7 +24,8 @@ class IrtSearcher : public Searcher {
                        int max_node_entries = 32);
 
   ResultList Search(const Query& query, size_t k, QueryKind kind,
-                    SearchStats* stats = nullptr) const override;
+                    SearchStats* stats = nullptr,
+                    const QueryContext* context = nullptr) const override;
   std::string name() const override { return "IRT"; }
 
   const IrTree& tree() const { return tree_; }

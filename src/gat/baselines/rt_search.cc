@@ -26,7 +26,8 @@ RtSearcher::RtSearcher(const Dataset& dataset, uint32_t batch,
 }
 
 ResultList RtSearcher::Search(const Query& query, size_t k, QueryKind kind,
-                              SearchStats* stats) const {
+                              SearchStats* stats,
+                              const QueryContext* /*context*/) const {
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
   st.Reset();

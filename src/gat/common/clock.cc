@@ -1,0 +1,19 @@
+#include "gat/common/clock.h"
+
+#include <chrono>
+
+namespace gat {
+
+uint64_t SteadyClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const SteadyClock& SteadyClock::Default() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace gat

@@ -1,0 +1,58 @@
+#ifndef GAT_COMMON_QUERY_CONTEXT_H_
+#define GAT_COMMON_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "gat/common/clock.h"
+
+namespace gat {
+
+/// Scheduling class of a request on the shared executor. Interactive
+/// requests (a user waiting on a top-k answer) overtake queued bulk work
+/// (analytics batches, rebuild-adjacent sweeps) at every submission
+/// point; within a class, FIFO order is preserved.
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,
+  kBulk = 1,
+};
+
+/// Per-request context the serving front door attaches to a query batch
+/// and every layer below reads at its task boundaries: the engine checks
+/// it before starting each query, and fan-out searchers check it before
+/// each per-shard sweep. It carries no results and owns nothing — one
+/// immutable struct per request, shared by all of the request's tasks.
+///
+/// ## Deadline semantics
+///
+/// `deadline_micros` is absolute on `clock`; 0 means "no deadline". A
+/// request expires exactly *at* its deadline (`now >= deadline`), so a
+/// boundary check that runs at the deadline instant already refuses the
+/// work — "just in time" is too late, by design: the caller's budget is
+/// spent. Expiry is monotone (the clock never goes backwards), so once
+/// any boundary observes it, every later boundary of the request does
+/// too. Work that expires mid-flight is never partially returned: the
+/// query that hit the deadline reports `deadline_exceeded` and its
+/// results are dropped, keeping answers bit-identical or absent — never
+/// subtly truncated.
+struct QueryContext {
+  /// Time source of the deadline. Required when `deadline_micros` != 0.
+  const Clock* clock = nullptr;
+
+  /// Absolute expiry on `clock`, in microseconds. 0 = no deadline.
+  uint64_t deadline_micros = 0;
+
+  RequestPriority priority = RequestPriority::kInteractive;
+
+  bool HasDeadline() const {
+    return deadline_micros != 0 && clock != nullptr;
+  }
+
+  /// True from the deadline instant onward (see class comment).
+  bool Expired() const {
+    return HasDeadline() && clock->NowMicros() >= deadline_micros;
+  }
+};
+
+}  // namespace gat
+
+#endif  // GAT_COMMON_QUERY_CONTEXT_H_

@@ -9,6 +9,8 @@
 
 namespace gat {
 
+struct QueryContext;  // gat/common/query_context.h
+
 /// Common interface of the four competitors evaluated in Section VII:
 /// GAT, IL, RT and IRT. They differ only in indexing structure and
 /// candidate retrieval; all share the same Dmm / Dmom refinement kernels
@@ -29,9 +31,16 @@ class Searcher {
 
   /// Top-k search. Results are sorted by ascending distance with ties
   /// broken by trajectory ID. `stats` (optional) receives per-query
-  /// counters.
+  /// counters. `context` (optional) carries the request's deadline and
+  /// priority class: implementations that fan work out as tasks check it
+  /// at their task boundaries and, when the deadline has passed, return
+  /// an *empty* list with `stats->deadline_skips` counted — partial
+  /// results are never returned (see QueryContext). Single-threaded
+  /// searchers may ignore it: the engine enforces the deadline before
+  /// each query starts.
   virtual ResultList Search(const Query& query, size_t k, QueryKind kind,
-                            SearchStats* stats = nullptr) const = 0;
+                            SearchStats* stats = nullptr,
+                            const QueryContext* context = nullptr) const = 0;
 
   /// Short display name ("GAT", "IL", "RT", "IRT").
   virtual std::string name() const = 0;

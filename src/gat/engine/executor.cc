@@ -32,28 +32,50 @@ Executor& Executor::Default() {
   return executor;
 }
 
-void Executor::Enqueue(QueuedTask task) {
+void Executor::Enqueue(QueuedTask task, TaskPriority priority) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queues_[static_cast<size_t>(priority)].push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+Executor::QueuedTask Executor::PopLocked() {
+  // Strict priority: every queued kHigh task runs before any kLow one.
+  std::deque<QueuedTask>& q = !queues_[0].empty() ? queues_[0] : queues_[1];
+  QueuedTask task = std::move(q.front());
+  q.pop_front();
+  return task;
 }
 
 bool Executor::RunOneTask(TaskGroup* only_from) {
   QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = queue_.begin();
-    if (only_from != nullptr) {
+    if (only_from == nullptr) {
+      if (!HasQueued()) return false;
+      task = PopLocked();
+    } else {
       // Help only the caller's group: a waiter must never spend its
-      // (possibly timed) wait executing a stranger's task. The queue is
+      // (possibly timed) wait executing a stranger's task. A group's
+      // tasks all share one priority class, but scan both queues so the
+      // helper finds its work regardless of class. The queues are
       // fan-out-sized, so the scan is short.
-      while (it != queue_.end() && it->group != only_from) ++it;
+      bool found = false;
+      for (auto& queue : queues_) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+          if (it->group == only_from) {
+            task = std::move(*it);
+            queue.erase(it);
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) return false;
     }
-    if (it == queue_.end()) return false;
-    task = std::move(*it);
-    queue_.erase(it);
   }
   task.fn();
   return true;
@@ -64,12 +86,11 @@ void Executor::WorkerLoop() {
     QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      // Drain the queue before honoring stop: a group destroyed right
+      cv_.wait(lock, [this] { return stop_ || HasQueued(); });
+      // Drain the queues before honoring stop: a group destroyed right
       // before the executor must still see its tasks finish.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      if (!HasQueued()) return;
+      task = PopLocked();
     }
     task.fn();
   }
@@ -81,11 +102,12 @@ void TaskGroup::Submit(std::function<void()> fn) {
     ++pending_;
   }
   executor_.Enqueue(Executor::QueuedTask{
-      [this, fn = std::move(fn)] {
-        fn();
-        OnTaskDone();
-      },
-      this});
+                        [this, fn = std::move(fn)] {
+                          fn();
+                          OnTaskDone();
+                        },
+                        this},
+                    priority_);
 }
 
 void TaskGroup::Wait() {

@@ -1,6 +1,7 @@
 #ifndef GAT_ENGINE_EXECUTOR_H_
 #define GAT_ENGINE_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,9 +10,28 @@
 #include <thread>
 #include <vector>
 
+#include "gat/common/query_context.h"
+
 namespace gat {
 
 class TaskGroup;
+
+/// Scheduling class of a task on the shared executor. High-priority
+/// tasks are always dequeued before low-priority ones; within a class,
+/// FIFO order is preserved. The default is kHigh, so callers that never
+/// mention priority are scheduled exactly as before the seam existed.
+enum class TaskPriority : uint8_t {
+  kHigh = 0,  // interactive serving, builds, anything latency-bound
+  kLow = 1,   // bulk/background requests; only runs when no kHigh queued
+};
+
+/// Maps a request's priority class onto the executor seam: bulk
+/// requests yield the pool to interactive work.
+inline TaskPriority TaskPriorityFor(const QueryContext* context) {
+  return context != nullptr && context->priority == RequestPriority::kBulk
+             ? TaskPriority::kLow
+             : TaskPriority::kHigh;
+}
 
 /// The thread-count rule every layer shares: `requested` = 0 resolves
 /// to std::thread::hardware_concurrency(), floored at 1.
@@ -78,6 +98,13 @@ class Executor {
   /// of help-while-waiting; exposed for tests.
   bool RunOneTask(TaskGroup* only_from = nullptr);
 
+  /// Total tasks ever enqueued on this executor (monotonic). The proof
+  /// hook for admission control: a shed request must leave this counter
+  /// unchanged — rejection happens before any task exists.
+  uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TaskGroup;
 
@@ -86,15 +113,22 @@ class Executor {
     TaskGroup* group;
   };
 
-  void Enqueue(QueuedTask task);
+  void Enqueue(QueuedTask task, TaskPriority priority);
   void WorkerLoop();
+
+  // Pops the next runnable task: high-priority FIFO first, then low.
+  // Caller must hold mu_ and have checked HasQueued().
+  QueuedTask PopLocked();
+  bool HasQueued() const { return !queues_[0].empty() || !queues_[1].empty(); }
 
   const uint32_t threads_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<QueuedTask> queue_;
+  // One FIFO per TaskPriority, indexed by the enum's underlying value.
+  std::deque<QueuedTask> queues_[2];
   bool stop_ = false;
+  std::atomic<uint64_t> tasks_submitted_{0};
 };
 
 /// A set of sibling tasks on one executor plus their completion barrier.
@@ -104,9 +138,15 @@ class Executor {
 ///
 /// `Wait()` helps execute this group's queued tasks while any are
 /// pending, so nesting groups inside tasks cannot starve the pool.
+///
+/// Every task submitted through one group shares the group's priority
+/// class (a fan-out is scheduled as a unit); the default kHigh keeps
+/// legacy callers byte-identical in behavior.
 class TaskGroup {
  public:
-  explicit TaskGroup(Executor& executor) : executor_(executor) {}
+  explicit TaskGroup(Executor& executor,
+                     TaskPriority priority = TaskPriority::kHigh)
+      : executor_(executor), priority_(priority) {}
   ~TaskGroup() { Wait(); }
 
   TaskGroup(const TaskGroup&) = delete;
@@ -124,6 +164,7 @@ class TaskGroup {
   void OnTaskDone();
 
   Executor& executor_;
+  const TaskPriority priority_;
   std::mutex mu_;
   std::condition_variable done_cv_;
   size_t pending_ = 0;

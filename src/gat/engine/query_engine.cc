@@ -42,11 +42,13 @@ QueryEngine::QueryEngine(std::unique_ptr<Searcher> searcher,
 QueryEngine::~QueryEngine() = default;
 
 BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
-                             QueryKind kind) const {
+                             QueryKind kind,
+                             const QueryContext* context) const {
   BatchResult batch;
   batch.threads_used = threads_;
   batch.results.resize(queries.size());
   batch.latencies.resize(queries.size());
+  batch.statuses.assign(queries.size(), QueryStatus::kOk);
   Stopwatch timer;
 
   if (queries.empty()) {
@@ -74,27 +76,47 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
     SearchStats& acc = batch.per_thread[slot];
     size_t idx = 0;
     while (queue.TryPop(slot, &idx)) {
+      // Task boundary: a query whose deadline has already passed never
+      // starts its Search — it reports kDeadlineExceeded with an empty
+      // result list instead of burning the pool on a dead request.
+      if (context != nullptr && context->Expired()) {
+        batch.statuses[idx] = QueryStatus::kDeadlineExceeded;
+        acc.deadline_skips += 1;
+        continue;
+      }
       Stopwatch query_timer;
       SearchStats per_query;
-      batch.results[idx] = searcher_.Search(queries[idx], k, kind, &per_query);
+      batch.results[idx] =
+          searcher_.Search(queries[idx], k, kind, &per_query, context);
       batch.latencies[idx].wall_ms = query_timer.ElapsedMillis();
       batch.latencies[idx].critical_disk_reads = per_query.CriticalDiskReads();
+      // The searcher refusing any of its own task boundaries (shard
+      // sweeps) also means deadline-exceeded — and it already returned
+      // an empty list, never partial answers.
+      if (per_query.deadline_skips > 0) {
+        batch.statuses[idx] = QueryStatus::kDeadlineExceeded;
+        batch.results[idx].clear();
+      }
       acc += per_query;
     }
   };
 
+  const bool expired_at_start = context != nullptr && context->Expired();
   if (executor_ == nullptr) {
     // Inline path: the prefetch sweep runs before the batch loop —
     // deterministic, so --threads 1 bench counters stay exact.
-    if (prefetcher_ != nullptr) prefetcher_->PrefetchBatch(queries);
+    if (prefetcher_ != nullptr && !expired_at_start) {
+      prefetcher_->PrefetchBatch(queries);
+    }
     task_body(0);
   } else {
-    TaskGroup group(*executor_);
+    TaskGroup group(*executor_, TaskPriorityFor(context));
     // Prefetch tasks first: the FIFO queue hands them to the first free
     // workers, so they sweep ahead while the remaining workers start on
     // the search slots — I/O of later queries overlaps the search of
-    // earlier ones.
-    if (prefetcher_ != nullptr) {
+    // earlier ones. A batch already past its deadline skips the sweep:
+    // no I/O on behalf of queries that will all be refused.
+    if (prefetcher_ != nullptr && !expired_at_start) {
       prefetcher_->SubmitBatch(queries, group,
                                std::max<uint32_t>(1, threads_ / 4));
     }
@@ -107,6 +129,9 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
   // Lock-free merge: the group barrier is past, each slot had a single
   // writer, summation is single-threaded and in slot order.
   for (const SearchStats& s : batch.per_thread) batch.totals += s;
+  for (const QueryStatus s : batch.statuses) {
+    if (s == QueryStatus::kDeadlineExceeded) ++batch.deadline_exceeded;
+  }
   if (cache != nullptr) {
     const BlockCacheStats after = cache->Snapshot();
     batch.storage.present = true;

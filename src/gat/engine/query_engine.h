@@ -16,6 +16,13 @@ namespace gat {
 
 class PrefetchScheduler;  // gat/storage/prefetch.h; engine holds a pointer
 
+/// Outcome of one query inside a batch. A deadline-exceeded query has
+/// an empty result list — never partial answers.
+enum class QueryStatus : uint8_t {
+  kOk = 0,
+  kDeadlineExceeded = 1,
+};
+
 /// QueryEngine knobs.
 struct EngineOptions {
   /// Worker threads of the engine-owned executor. 0 =
@@ -75,6 +82,13 @@ struct BatchResult {
   /// independent of the thread count and of task interleavings.
   std::vector<ResultList> results;
 
+  /// statuses[i] reports whether queries[i] completed or hit its
+  /// deadline (in which case results[i] is empty).
+  std::vector<QueryStatus> statuses;
+
+  /// Number of queries in this batch with status kDeadlineExceeded.
+  uint64_t deadline_exceeded = 0;
+
   /// latencies[i] is the per-query wall-clock/critical-path cost of
   /// queries[i] (the input of the bench protocol's p50/p95/p99 fields).
   std::vector<QueryLatency> latencies;
@@ -128,6 +142,20 @@ struct BatchResult {
 /// barrier — lock-free by construction since no two tasks ever touch the
 /// same slot. Top-k answers are therefore bit-identical across thread
 /// counts, executor sharing, and concurrent batches.
+///
+/// ## Deadlines and priority
+///
+/// `Run` accepts an optional `QueryContext`. Its deadline is enforced at
+/// task boundaries: each query task checks expiry before starting its
+/// `Search`, and the searcher (if fan-out-capable) re-checks at its own
+/// boundaries. A query that expires at any boundary reports
+/// `QueryStatus::kDeadlineExceeded` with an empty result list — the
+/// batch never returns partial answers for it. The context's priority
+/// class picks the executor queue the batch's tasks join (bulk yields
+/// to interactive). Under a frozen virtual-time clock the set of
+/// expired queries is a pure function of the schedule, so statuses and
+/// `SearchStats::deadline_skips` stay bit-identical across thread
+/// counts.
 class QueryEngine {
  public:
   /// Non-owning: `searcher` must outlive the engine.
@@ -142,10 +170,12 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Runs a batch. Blocks until every query is answered. Concurrent
-  /// calls pipeline on the shared executor (see class comment).
-  BatchResult Run(const std::vector<Query>& queries, size_t k,
-                  QueryKind kind) const;
+  /// Runs a batch. Blocks until every query is answered (or refused at
+  /// a deadline boundary). Concurrent calls pipeline on the shared
+  /// executor (see class comment). `context`, when given, must outlive
+  /// the call; it carries the batch's deadline and priority class.
+  BatchResult Run(const std::vector<Query>& queries, size_t k, QueryKind kind,
+                  const QueryContext* context = nullptr) const;
 
   const Searcher& searcher() const { return searcher_; }
   uint32_t threads() const { return threads_; }

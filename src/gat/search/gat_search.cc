@@ -120,7 +120,8 @@ ResultList GatSearcher::Oatsq(const Query& query, size_t k,
 }
 
 ResultList GatSearcher::Search(const Query& query, size_t k, QueryKind kind,
-                               SearchStats* stats) const {
+                               SearchStats* stats,
+                               const QueryContext* /*context*/) const {
   SearchStats local_stats;
   SearchStats& st = stats != nullptr ? *stats : local_stats;
   st.Reset();

@@ -56,9 +56,12 @@ class GatSearcher : public Searcher {
   ResultList Oatsq(const Query& query, size_t k,
                    SearchStats* stats = nullptr) const;
 
-  /// Unified entry point.
+  /// Unified entry point. `context` is accepted for interface parity but
+  /// not checked mid-query: one GAT search is a single sequential task,
+  /// and the engine's per-query boundary check already gates it.
   ResultList Search(const Query& query, size_t k, QueryKind kind,
-                    SearchStats* stats = nullptr) const override;
+                    SearchStats* stats = nullptr,
+                    const QueryContext* context = nullptr) const override;
   std::string name() const override { return "GAT"; }
 
   const GatSearchParams& params() const { return params_; }

@@ -25,6 +25,11 @@ std::string SearchStats::ToString() const {
                   static_cast<unsigned long long>(index_pins));
     out += buf;
   }
+  if (deadline_skips > 0) {
+    std::snprintf(buf, sizeof(buf), " dl_skips=%llu",
+                  static_cast<unsigned long long>(deadline_skips));
+    out += buf;
+  }
   if (block_hits + blocks_read > 0) {
     std::snprintf(buf, sizeof(buf), " blocks(hit/miss)=%llu/%llu",
                   static_cast<unsigned long long>(block_hits),
@@ -52,6 +57,7 @@ SearchStats& SearchStats::operator+=(const SearchStats& other) {
   block_hits += other.block_hits;
   blocks_read += other.blocks_read;
   index_pins += other.index_pins;
+  deadline_skips += other.deadline_skips;
   // Sequential composition: critical paths add. Fan-out searchers
   // overwrite the sum with their max-over-branches after merging.
   critical_disk_reads = combined_critical;

@@ -43,6 +43,14 @@ struct SearchStats {
   /// index. The counter that proves the hot-swap path was exercised
   /// without perturbing any work counter.
   uint64_t index_pins = 0;
+  /// Task-boundary deadline checks that found the request's budget
+  /// already spent and skipped the work behind them: one per query the
+  /// engine refused to start, one per shard sweep a fan-out searcher
+  /// refused to run. 0 for requests without a deadline (every
+  /// pre-serving workload). Deterministic only when expiry is — i.e.
+  /// under a virtual-time clock that is frozen while tasks run; under a
+  /// wall clock the count depends on scheduling.
+  uint64_t deadline_skips = 0;
   /// Simulated disk reads on the query's *critical path*. 0 means "same
   /// as disk_reads" (every sequential searcher leaves it unset); a
   /// fan-out searcher that overlaps per-shard I/O across executor tasks

@@ -1,0 +1,92 @@
+#include "gat/serve/front_door.h"
+
+#include "gat/common/check.h"
+
+namespace gat {
+
+FrontDoor::FrontDoor(const QueryEngine& engine, FrontDoorOptions options)
+    : engine_(engine),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &SteadyClock::Default()),
+      options_(std::move(options)) {}
+
+TokenBucket& FrontDoor::BucketForLocked(uint32_t tenant) {
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return it->second;
+  TenantQuota quota = options_.default_quota;
+  for (const auto& entry : options_.tenant_quotas) {
+    if (entry.first == tenant) {
+      quota = entry.second;
+      break;
+    }
+  }
+  return buckets_
+      .emplace(tenant, TokenBucket(quota.tokens_per_sec, quota.burst))
+      .first->second;
+}
+
+bool FrontDoor::TryAdmit(uint32_t tenant) {
+  const uint64_t now = clock_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (BucketForLocked(tenant).TryAcquire(now)) {
+    ++counters_.admitted;
+    return true;
+  }
+  ++counters_.shed;
+  return false;
+}
+
+ServeResult FrontDoor::ServeAdmitted(const ServeRequest& request) {
+  GAT_CHECK(request.queries != nullptr);
+  ServeResult out;
+
+  QueryContext context;
+  context.clock = clock_;
+  context.deadline_micros = request.deadline_micros;
+  context.priority = request.priority;
+
+  // Deadline gate before the engine: a request that is already dead
+  // creates no tasks, pins nothing, prefetches nothing.
+  if (context.Expired()) {
+    out.status = ServeStatus::kDeadlineExceeded;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.deadline_misses;
+    return out;
+  }
+
+  BatchResult batch =
+      engine_.Run(*request.queries, request.k, request.kind, &context);
+  if (batch.deadline_exceeded > 0) {
+    // Expired mid-batch. Never partial results: the whole request
+    // reports deadline-exceeded with empty answers. The stats stay —
+    // they record the work the miss actually burnt.
+    for (ResultList& r : batch.results) r.clear();
+    out.status = ServeStatus::kDeadlineExceeded;
+    out.batch = std::move(batch);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.deadline_misses;
+    return out;
+  }
+
+  out.status = ServeStatus::kOk;
+  out.batch = std::move(batch);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.completed;
+  return out;
+}
+
+ServeResult FrontDoor::Serve(const ServeRequest& request) {
+  if (!TryAdmit(request.tenant)) {
+    ServeResult out;
+    out.status = ServeStatus::kShed;
+    return out;
+  }
+  return ServeAdmitted(request);
+}
+
+FrontDoorCounters FrontDoor::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace gat

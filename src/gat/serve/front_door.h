@@ -1,0 +1,129 @@
+#ifndef GAT_SERVE_FRONT_DOOR_H_
+#define GAT_SERVE_FRONT_DOOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "gat/common/clock.h"
+#include "gat/common/query_context.h"
+#include "gat/engine/query_engine.h"
+#include "gat/serve/token_bucket.h"
+
+namespace gat {
+
+/// Per-tenant admission budget: sustained rate plus burst headroom.
+struct TenantQuota {
+  double tokens_per_sec = 100.0;
+  double burst = 50.0;
+};
+
+/// FrontDoor knobs.
+struct FrontDoorOptions {
+  /// Time source for admission refill and deadline checks. nullptr =
+  /// SteadyClock::Default() (real time). Benches and tests inject a
+  /// ManualClock for deterministic outcomes.
+  const Clock* clock = nullptr;
+
+  /// Budget for tenants without an explicit entry.
+  TenantQuota default_quota;
+
+  /// Per-tenant overrides, looked up by tenant ID.
+  std::vector<std::pair<uint32_t, TenantQuota>> tenant_quotas;
+};
+
+/// One request at the front door: a tenant's query batch plus its
+/// serving envelope (priority class and absolute deadline).
+struct ServeRequest {
+  uint32_t tenant = 0;
+  RequestPriority priority = RequestPriority::kInteractive;
+  /// Absolute deadline in the front door's clock domain; 0 = none.
+  uint64_t deadline_micros = 0;
+  /// Borrowed; must stay alive for the duration of Serve.
+  const std::vector<Query>* queries = nullptr;
+  size_t k = 10;
+  QueryKind kind = QueryKind::kAtsq;
+};
+
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  kShed = 1,              // refused at admission; no engine work done
+  kDeadlineExceeded = 2,  // admitted but expired; results are empty
+};
+
+struct ServeResult {
+  ServeStatus status = ServeStatus::kOk;
+  /// Populated only when status == kOk. Deadline-exceeded requests
+  /// carry the batch's stats (the work burnt before expiry) but no
+  /// results.
+  BatchResult batch;
+};
+
+/// Monotonic front-door counters. admitted + shed = total offered;
+/// completed + deadline_misses = admitted (every admitted request ends
+/// in exactly one of the two).
+struct FrontDoorCounters {
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;
+  uint64_t deadline_misses = 0;
+};
+
+/// The serving front door: per-tenant token-bucket admission, deadline
+/// propagation into the engine, and priority classes — everything that
+/// stands between "a request arrived" and "executor tasks exist".
+///
+/// The contract that makes overload survivable: a shed request performs
+/// ZERO engine work. `TryAdmit` consults only the tenant's bucket — no
+/// task is created, no shard pinned, no prefetch issued — so shedding
+/// 10x overload costs a mutex and a multiply per refusal, and
+/// `Executor::tasks_submitted()` provably does not move (the soak tests
+/// assert exactly that). Deadlines are enforced next: an admitted
+/// request whose deadline already passed is refused before the engine
+/// sees it, and one that expires mid-batch comes back empty
+/// (kDeadlineExceeded), never with partial results. The request's
+/// priority class rides the QueryContext into the executor's priority
+/// queues, so bulk traffic yields the pool to interactive traffic.
+///
+/// Thread-safety: Serve/TryAdmit/ServeAdmitted may be called
+/// concurrently from any number of threads; the bucket map has its own
+/// mutex and the engine is already concurrent-safe.
+class FrontDoor {
+ public:
+  /// `engine` is borrowed and must outlive the front door.
+  FrontDoor(const QueryEngine& engine, FrontDoorOptions options = {});
+
+  /// Admission + execution. Equivalent to TryAdmit followed (on
+  /// success) by ServeAdmitted.
+  ServeResult Serve(const ServeRequest& request);
+
+  /// Admission only: charges the tenant's bucket at the current clock.
+  /// False = shed (counted); the caller must not run the request.
+  bool TryAdmit(uint32_t tenant);
+
+  /// Executes an already-admitted request: deadline check (zero engine
+  /// work when already expired), then the engine batch under the
+  /// request's QueryContext.
+  ServeResult ServeAdmitted(const ServeRequest& request);
+
+  FrontDoorCounters counters() const;
+
+  const Clock& clock() const { return *clock_; }
+
+ private:
+  TokenBucket& BucketForLocked(uint32_t tenant);
+
+  const QueryEngine& engine_;
+  const Clock* clock_;
+  FrontDoorOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<uint32_t, TokenBucket> buckets_;
+  FrontDoorCounters counters_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_SERVE_FRONT_DOOR_H_

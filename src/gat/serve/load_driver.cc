@@ -1,0 +1,185 @@
+#include "gat/serve/load_driver.h"
+
+#include <deque>
+#include <queue>
+
+#include "gat/common/check.h"
+#include "gat/util/rng.h"
+#include "gat/util/zipf.h"
+
+namespace gat {
+
+namespace {
+
+uint64_t MsToMicros(double ms) { return static_cast<uint64_t>(ms * 1000.0); }
+
+struct Pending {
+  const ArrivalSpec* spec;
+};
+
+struct Completion {
+  double finish_ms;
+  uint64_t seq;  // FIFO tie-break for equal finish times
+  bool operator>(const Completion& other) const {
+    if (finish_ms != other.finish_ms) return finish_ms > other.finish_ms;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+std::vector<ArrivalSpec> MakeOpenLoopSchedule(
+    const LoadScheduleParams& params) {
+  GAT_CHECK(params.arrivals_per_sec > 0.0);
+  GAT_CHECK(params.num_tenants > 0);
+  Rng rng(params.seed);
+  const ZipfSampler tenant_sampler(params.num_tenants,
+                                   params.tenant_zipf_theta);
+  const double mean_gap_ms = 1000.0 / params.arrivals_per_sec;
+
+  std::vector<ArrivalSpec> schedule;
+  uint32_t pool_cursor = 0;
+  double t = 0.0;
+  for (;;) {
+    // Jittered-uniform gap in [0.25, 1.75) * mean: bursty, mean-
+    // preserving, and multiply/add only — no libm transcendentals, so
+    // the schedule is bit-identical on every machine.
+    t += mean_gap_ms * (0.25 + 1.5 * rng.NextDouble());
+    if (t >= params.duration_ms) break;
+    ArrivalSpec spec;
+    spec.arrival_ms = t;
+    spec.tenant = tenant_sampler.Sample(rng);
+    const bool interactive = rng.NextBool(params.interactive_fraction);
+    spec.priority = interactive ? RequestPriority::kInteractive
+                                : RequestPriority::kBulk;
+    spec.deadline_budget_ms = interactive ? params.interactive_deadline_ms
+                                          : params.bulk_deadline_ms;
+    spec.num_queries =
+        interactive ? params.interactive_queries : params.bulk_queries;
+    spec.pool_offset = pool_cursor;
+    pool_cursor += spec.num_queries;
+    schedule.push_back(spec);
+  }
+  return schedule;
+}
+
+DriveOutcome RunOpenLoop(FrontDoor& door, ManualClock& clock,
+                         const std::vector<ArrivalSpec>& schedule,
+                         const std::vector<Query>& query_pool,
+                         const DriverOptions& options,
+                         const ServeObserver& observer) {
+  GAT_CHECK(options.virtual_slots > 0);
+  GAT_CHECK(!query_pool.empty());
+
+  DriveOutcome outcome;
+  auto class_of = [&outcome](RequestPriority p) -> ClassOutcome& {
+    return p == RequestPriority::kInteractive ? outcome.interactive
+                                              : outcome.bulk;
+  };
+
+  // Discrete-event state: per-class FIFO dispatch queues and a min-heap
+  // of slot completions. The clock advances only here, between work
+  // units — never while the engine runs a batch.
+  std::deque<Pending> queues[2];
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions;
+  uint32_t free_slots = options.virtual_slots;
+  uint64_t completion_seq = 0;
+  size_t next_arrival = 0;
+  double now_ms = 0.0;
+
+  auto dispatch_one = [&]() -> bool {
+    // Interactive drains first; FIFO within a class.
+    std::deque<Pending>& q = !queues[0].empty() ? queues[0] : queues[1];
+    if (q.empty()) return false;
+    const ArrivalSpec& spec = *q.front().spec;
+    q.pop_front();
+    ClassOutcome& cls = class_of(spec.priority);
+
+    std::vector<Query> queries;
+    queries.reserve(spec.num_queries);
+    for (uint32_t j = 0; j < spec.num_queries; ++j) {
+      queries.push_back(
+          query_pool[(spec.pool_offset + j) % query_pool.size()]);
+    }
+
+    ServeRequest request;
+    request.tenant = spec.tenant;
+    request.priority = spec.priority;
+    if (spec.deadline_budget_ms > 0.0) {
+      request.deadline_micros =
+          MsToMicros(spec.arrival_ms + spec.deadline_budget_ms);
+    }
+    request.queries = &queries;
+    request.k = options.k;
+    request.kind = options.kind;
+
+    // The engine runs with the clock frozen at `now_ms`: its entry
+    // check catches requests that expired while queued (no slot is
+    // consumed for those), and virtual service time — not real wall
+    // time — decides when the slot frees.
+    ServeResult result = door.ServeAdmitted(request);
+    if (result.status == ServeStatus::kDeadlineExceeded) {
+      ++cls.deadline_misses;
+      if (observer) observer(spec, result);
+      return true;
+    }
+    ++cls.completed;
+    const double finish_ms =
+        now_ms + options.service_ms_per_query * spec.num_queries;
+    cls.latency_ms.push_back(finish_ms - spec.arrival_ms);
+    cls.totals += result.batch.totals;
+    completions.push(Completion{finish_ms, completion_seq++});
+    --free_slots;
+    if (observer) observer(spec, result);
+    return true;
+  };
+
+  while (next_arrival < schedule.size() || !completions.empty()) {
+    // Completions fire before arrivals at the same instant, so a slot
+    // freed at t can serve a request arriving at t.
+    bool take_completion;
+    if (completions.empty()) {
+      take_completion = false;
+    } else if (next_arrival >= schedule.size()) {
+      take_completion = true;
+    } else {
+      take_completion =
+          completions.top().finish_ms <= schedule[next_arrival].arrival_ms;
+    }
+
+    if (take_completion) {
+      now_ms = completions.top().finish_ms;
+      completions.pop();
+      clock.SetMicros(MsToMicros(now_ms));
+      ++free_slots;
+    } else {
+      const ArrivalSpec& spec = schedule[next_arrival++];
+      now_ms = spec.arrival_ms;
+      clock.SetMicros(MsToMicros(now_ms));
+      ClassOutcome& cls = class_of(spec.priority);
+      ++cls.offered;
+      if (door.TryAdmit(spec.tenant)) {
+        ++cls.admitted;
+        queues[static_cast<size_t>(spec.priority)].push_back(Pending{&spec});
+      } else {
+        ++cls.shed;
+        if (observer) {
+          ServeResult shed;
+          shed.status = ServeStatus::kShed;
+          observer(spec, shed);
+        }
+      }
+    }
+
+    while (free_slots > 0 && dispatch_one()) {
+    }
+    if (now_ms > outcome.virtual_duration_ms) {
+      outcome.virtual_duration_ms = now_ms;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gat

@@ -1,0 +1,120 @@
+#ifndef GAT_SERVE_LOAD_DRIVER_H_
+#define GAT_SERVE_LOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gat/common/clock.h"
+#include "gat/common/query_context.h"
+#include "gat/model/query.h"
+#include "gat/search/search_stats.h"
+#include "gat/serve/front_door.h"
+
+namespace gat {
+
+/// One request arrival in an open-loop schedule. Times are virtual
+/// milliseconds from the schedule start; `pool_offset` indexes the
+/// caller's query pool (the driver slices `num_queries` queries from
+/// there, wrapping at the pool end).
+struct ArrivalSpec {
+  double arrival_ms = 0.0;
+  uint32_t tenant = 0;
+  RequestPriority priority = RequestPriority::kInteractive;
+  double deadline_budget_ms = 0.0;  // relative to arrival; 0 = none
+  uint32_t num_queries = 1;
+  uint32_t pool_offset = 0;
+};
+
+/// Knobs of MakeOpenLoopSchedule.
+struct LoadScheduleParams {
+  double arrivals_per_sec = 200.0;
+  double duration_ms = 1000.0;
+  uint32_t num_tenants = 8;
+  /// Tenant popularity skew: tenant ranks are Zipf(theta)-distributed,
+  /// so a few hot tenants dominate — the regime where per-tenant
+  /// buckets matter.
+  double tenant_zipf_theta = 0.9;
+  double interactive_fraction = 0.7;
+  double interactive_deadline_ms = 50.0;
+  double bulk_deadline_ms = 500.0;
+  uint32_t interactive_queries = 1;
+  uint32_t bulk_queries = 4;
+  uint64_t seed = 42;
+};
+
+/// Builds a deterministic open-loop arrival schedule: inter-arrival
+/// gaps are jittered-uniform around the mean (gap = mean * (0.25 +
+/// 1.5u), u ~ U[0,1)) — bursty enough to exercise the buckets, and
+/// computed with multiply/add only so the schedule is bit-identical
+/// across libm implementations. Tenants are Zipf-skewed; priority
+/// class, deadline budget and batch size follow the class split.
+std::vector<ArrivalSpec> MakeOpenLoopSchedule(const LoadScheduleParams& params);
+
+/// Knobs of RunOpenLoop's virtual service model.
+struct DriverOptions {
+  /// Concurrent virtual servers. Fixed independently of --threads, so
+  /// the simulated timeline (and with it every admit/shed/deadline
+  /// outcome) does not depend on the machine.
+  uint32_t virtual_slots = 4;
+  /// Virtual service time per query in a request's batch.
+  double service_ms_per_query = 5.0;
+  size_t k = 10;
+  QueryKind kind = QueryKind::kAtsq;
+};
+
+/// Per-priority-class outcome of one RunOpenLoop.
+struct ClassOutcome {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t completed = 0;
+  /// Virtual end-to-end latency (queueing + service) of each completed
+  /// request, in arrival order.
+  std::vector<double> latency_ms;
+  /// Real search-work counters summed over completed requests.
+  SearchStats totals;
+};
+
+struct DriveOutcome {
+  ClassOutcome interactive;
+  ClassOutcome bulk;
+  /// Virtual time at which the last completion drained.
+  double virtual_duration_ms = 0.0;
+};
+
+/// Observes every request outcome as it happens (arrival order for
+/// sheds/expired-at-dispatch, completion order otherwise). For tests
+/// that assert bit-identity of results across thread counts.
+using ServeObserver =
+    std::function<void(const ArrivalSpec&, const ServeResult&)>;
+
+/// Drives an open-loop schedule through a FrontDoor as a discrete-event
+/// simulation over `clock` (which MUST be the front door's clock).
+///
+/// Virtual time decouples the simulated timeline from real execution:
+/// the clock only advances between work units — it is frozen while the
+/// engine runs a batch — so admission refills, deadline expiries and
+/// latencies are pure functions of the schedule and the service model.
+/// That is what makes the overload suite deterministic: counters and
+/// latency vectors are bit-identical at --threads 1 and --threads 4,
+/// on any machine. Real executor parallelism still happens *inside*
+/// each admitted batch (shard fan-out, engine slots); it just cannot
+/// leak into the simulated timeline.
+///
+/// Service model: `virtual_slots` servers; a dispatched request
+/// occupies one slot for `service_ms_per_query * num_queries` virtual
+/// ms. Queued requests dispatch interactive-first (FIFO within class).
+/// A request whose deadline passes before dispatch is a deadline miss
+/// and never reaches the engine; deadlines are also re-checked inside
+/// the engine at task boundaries.
+DriveOutcome RunOpenLoop(FrontDoor& door, ManualClock& clock,
+                         const std::vector<ArrivalSpec>& schedule,
+                         const std::vector<Query>& query_pool,
+                         const DriverOptions& options,
+                         const ServeObserver& observer = nullptr);
+
+}  // namespace gat
+
+#endif  // GAT_SERVE_LOAD_DRIVER_H_

@@ -1,0 +1,29 @@
+#include "gat/serve/token_bucket.h"
+
+#include <algorithm>
+
+namespace gat {
+
+TokenBucket::TokenBucket(double tokens_per_sec, double burst)
+    : rate_per_micro_(tokens_per_sec / 1e6),
+      burst_(burst),
+      tokens_(burst) {}
+
+bool TokenBucket::TryAcquire(uint64_t now_micros, double cost) {
+  if (!primed_) {
+    last_refill_micros_ = now_micros;
+    primed_ = true;
+  } else if (now_micros > last_refill_micros_) {
+    const double elapsed =
+        static_cast<double>(now_micros - last_refill_micros_);
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_micro_);
+    last_refill_micros_ = now_micros;
+  }
+  // now_micros <= last_refill_micros_: no refill, no clock update — a
+  // rewound clock cannot mint tokens.
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+}  // namespace gat

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "gat/common/query_context.h"
 #include "gat/util/top_k.h"
 
 namespace gat {
@@ -14,15 +15,31 @@ ShardedSearcher::ShardedSearcher(const ShardedIndex& index,
     : index_(index), params_(params), executor_(executor) {}
 
 ResultList ShardedSearcher::Search(const Query& query, size_t k,
-                                   QueryKind kind, SearchStats* stats) const {
+                                   QueryKind kind, SearchStats* stats,
+                                   const QueryContext* context) const {
   // Per-query stats, like every other Searcher: reset, then accumulate
   // the shard sweeps of *this* query.
   if (stats != nullptr) stats->Reset();
   const uint32_t num_shards = index_.num_shards();
 
+  // Entry task boundary: an already-expired query touches no shard —
+  // no pin, no task submission, no partial work.
+  if (context != nullptr && context->Expired()) {
+    if (stats != nullptr) stats->deadline_skips += 1;
+    return {};
+  }
+
   std::vector<ResultList> shard_results(num_shards);
   std::vector<SearchStats> shard_stats(stats != nullptr ? num_shards : 0);
+  std::vector<char> expired_slots(num_shards, 0);
   auto search_shard = [&](uint32_t shard) {
+    // Per-shard task boundary: a deadline that passed while this sweep
+    // sat in the queue refuses the sweep before pinning anything.
+    if (context != nullptr && context->Expired()) {
+      expired_slots[shard] = 1;
+      if (stats != nullptr) shard_stats[shard].deadline_skips = 1;
+      return;
+    }
     // Pin for exactly this visit: the revision (and under mmap serving,
     // its mapping and tier) cannot be retired under the search, however
     // many ReloadShard swaps land meanwhile. The searcher itself is
@@ -30,8 +47,10 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
     const auto revision = index_.PinShard(shard);
     const GatSearcher searcher(index_.shard_dataset(shard), *revision->index,
                                params_);
-    shard_results[shard] = searcher.Search(
-        query, k, kind, stats != nullptr ? &shard_stats[shard] : nullptr);
+    shard_results[shard] =
+        searcher.Search(query, k, kind,
+                        stats != nullptr ? &shard_stats[shard] : nullptr,
+                        context);
   };
 
   if (executor_ == nullptr || num_shards <= 1) {
@@ -39,12 +58,18 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
   } else {
     // Sibling tasks on the shared pool; each writes only its pre-sized
     // slot, and the caller helps drain the group (nest-safe when this
-    // Search already runs on an executor task).
-    TaskGroup group(*executor_);
+    // Search already runs on an executor task). Bulk-class requests
+    // queue behind interactive work via the priority seam.
+    TaskGroup group(*executor_, TaskPriorityFor(context));
     for (uint32_t shard = 0; shard < num_shards; ++shard) {
       group.Submit([&search_shard, shard] { search_shard(shard); });
     }
     group.Wait();
+  }
+
+  uint32_t visited = 0;
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    if (!expired_slots[shard]) ++visited;
   }
 
   // Merge after the barrier, in shard order — the result and the stats
@@ -63,9 +88,10 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
       slowest_branch = std::max(slowest_branch, s.CriticalDiskReads());
       sum_of_branches += s.CriticalDiskReads();
     }
-    // One revision pin per shard visit — deterministic, and the
-    // engine-level signal that serving went through the epoch guard.
-    stats->index_pins += num_shards;
+    // One revision pin per shard visit actually made — deterministic,
+    // and the engine-level signal that serving went through the epoch
+    // guard. Refused sweeps pin nothing.
+    stats->index_pins += visited;
     // Counters stay sums (deterministic totals); the disk critical path
     // models the overlap the fan-out actually buys: at most `threads`
     // branches are in flight at once, so the path is the slowest branch
@@ -78,6 +104,11 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
       stats->critical_disk_reads =
           std::max(slowest_branch, bandwidth_bound);
     }
+  }
+  // Never partial results: if any sweep was refused, the merged top-k
+  // would silently miss that shard's candidates — report nothing.
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    if (expired_slots[shard]) return {};
   }
   return ToResultList(merged);
 }

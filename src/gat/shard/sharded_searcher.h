@@ -49,6 +49,16 @@ namespace gat {
 /// overhead) — the right mode for `num_shards == 1` or strictly
 /// single-threaded processes.
 ///
+/// ## Deadlines
+///
+/// When `context` carries a deadline, it is checked at every task
+/// boundary: once on entry (an already-expired query touches no shard,
+/// pins nothing, and submits nothing) and once at the start of each
+/// shard visit. A query that expires mid-fan-out never returns partial
+/// results — the merge is abandoned, the result list is empty, and
+/// `SearchStats::deadline_skips` counts the refused sweeps. Shard tasks
+/// inherit the request's priority class via the context.
+///
 /// Thread-safety: implements the Searcher contract (const Search, all
 /// per-query state on the caller's stack), so one instance can back a
 /// whole QueryEngine pool at any engine thread count — concurrently
@@ -62,7 +72,8 @@ class ShardedSearcher : public Searcher {
                            Executor* executor = nullptr);
 
   ResultList Search(const Query& query, size_t k, QueryKind kind,
-                    SearchStats* stats = nullptr) const override;
+                    SearchStats* stats = nullptr,
+                    const QueryContext* context = nullptr) const override;
   std::string name() const override { return "GAT-sharded"; }
 
   const ShardedIndex& index() const { return index_; }
