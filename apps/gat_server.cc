@@ -1,0 +1,117 @@
+// gat_server: the `GATW` wire protocol served from a real socket.
+//
+// Builds a synthetic city (deterministic from --seed), indexes it,
+// and serves ATSQ/OATSQ batches through the full serving stack —
+// FrontDoor admission/deadlines/priorities behind a poll(2) Server on
+// a shared Executor. Prints "LISTENING <port>" on stdout once bound
+// (scripts/wire_smoke.py waits for that line), then runs until stdin
+// reaches EOF — so a parent process ends it by closing the pipe, with
+// no signal races.
+//
+// Usage: gat_server [--port N] [--host A.B.C.D] [--trajectories N]
+//                   [--seed N] [--threads N] [--k N]
+//                   [--quota-rate R] [--quota-burst B]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "gat/datagen/checkin_generator.h"
+#include "gat/engine/executor.h"
+#include "gat/engine/query_engine.h"
+#include "gat/net/server.h"
+#include "gat/search/gat_search.h"
+#include "gat/serve/front_door.h"
+
+namespace {
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+double FlagF64(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::strtod(argv[i + 1], nullptr);
+    }
+  }
+  return fallback;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gat;
+
+  const auto trajectories =
+      static_cast<uint32_t>(FlagU64(argc, argv, "--trajectories", 200));
+  const uint64_t seed = FlagU64(argc, argv, "--seed", 29);
+  const auto threads =
+      static_cast<uint32_t>(FlagU64(argc, argv, "--threads", 4));
+
+  std::fprintf(stderr, "building city: %u trajectories, seed %llu\n",
+               trajectories,
+               static_cast<unsigned long long>(seed));
+  const Dataset dataset = GenerateCity(CityProfile::Testing(trajectories,
+                                                            seed));
+  const GatIndex index(dataset);
+  const GatSearcher searcher(dataset, index);
+
+  Executor executor(threads);
+  QueryEngine engine(searcher, EngineOptions{.executor = &executor});
+
+  FrontDoorOptions door_options;
+  door_options.default_quota =
+      TenantQuota{FlagF64(argc, argv, "--quota-rate", 1000.0),
+                  FlagF64(argc, argv, "--quota-burst", 100.0)};
+  FrontDoor door(engine, door_options);
+
+  wire::ServerOptions server_options;
+  server_options.host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(FlagU64(argc, argv, "--port", 0));
+  server_options.executor = &executor;
+  wire::Server server(door, server_options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "FATAL: bind/listen on %s:%u failed\n",
+                 server_options.host.c_str(), server_options.port);
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  // Park until the parent closes our stdin.
+  char sink[256];
+  while (std::fgets(sink, sizeof(sink), stdin) != nullptr) {
+  }
+
+  server.Stop();
+  const wire::ServerCounters net = server.counters();
+  const FrontDoorCounters front = door.counters();
+  std::fprintf(stderr,
+               "served %llu requests over %llu sessions "
+               "(%llu protocol errors); admitted %llu, shed %llu, "
+               "deadline misses %llu\n",
+               static_cast<unsigned long long>(net.requests_served),
+               static_cast<unsigned long long>(net.sessions_opened),
+               static_cast<unsigned long long>(net.protocol_errors),
+               static_cast<unsigned long long>(front.admitted),
+               static_cast<unsigned long long>(front.shed),
+               static_cast<unsigned long long>(front.deadline_misses));
+  return 0;
+}

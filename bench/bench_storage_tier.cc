@@ -191,8 +191,10 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
     }
     const ShardedSearcher searcher(sharded, {},
                                    proto.threads > 1 ? &executor : nullptr);
-    const PrefetchScheduler prefetcher(sharded.shard_index_views(),
-                                       sharded.block_cache());
+    // Pin-per-query mode: same prediction over the same shard indexes
+    // and the same shared cache, so the blocks_read counters the
+    // baseline gates are unchanged.
+    const PrefetchScheduler prefetcher(sharded);
     const Measurement m = MeasureWorkload(searcher, queries, kTopK, kKind,
                                           proto, &prefetcher);
     char name[128];

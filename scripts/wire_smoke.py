@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Cross-language smoke test of the GATW wire protocol.
+
+Speaks the protocol from an independent implementation (struct.pack +
+zlib.crc32 — no shared code with the C++ codec), so a framing bug that
+two copies of the same serializer would cancel out gets caught here:
+
+  1. start ./build/apps/gat_server, wait for "LISTENING <port>",
+  2. send a well-formed request, check the response frame end to end
+     (magic, version, type, CRC, full payload parse with no trailing
+     bytes, status/shed cross-field discipline),
+  3. send a corrupted frame on a fresh connection, expect a clean EOF
+     with zero bytes — never a crash, never a partial frame,
+  4. close the server's stdin and expect exit code 0.
+
+Usage: scripts/wire_smoke.py [path/to/gat_server]
+Exit code 0 = all checks passed.
+"""
+
+import socket
+import struct
+import subprocess
+import sys
+import zlib
+
+MAGIC = b"GATW"
+VERSION = 1
+FRAME_REQUEST = 1
+FRAME_RESPONSE = 2
+HEADER = struct.Struct("<4sIIII")  # magic, version, type, length, crc32
+
+STATUS_OK = 0
+STATUS_SHED = 1
+STATUS_DEADLINE = 2
+SHED_NONE = 0
+NUM_STAT_COUNTERS = 14  # u64 counters before the trailing elapsed_ms f64
+
+
+def build_frame(frame_type: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return HEADER.pack(MAGIC, VERSION, frame_type, len(payload), crc) + payload
+
+
+def build_request(tenant=7, priority=0, kind=0, k=3, deadline=0) -> bytes:
+    # One query, two points, activities strictly ascending — the normal
+    # form the decoder demands.
+    payload = struct.pack("<IIIIQI", tenant, priority, kind, k, deadline, 1)
+    points = [((1.0, 2.0), [0, 3, 5]), ((-0.5, 4.25), [1])]
+    payload += struct.pack("<I", len(points))
+    for (x, y), activities in points:
+        payload += struct.pack("<ddI", x, y, len(activities))
+        payload += struct.pack(f"<{len(activities)}I", *activities)
+    return build_frame(FRAME_REQUEST, payload)
+
+
+def recv_exact(sock: socket.socket, size: int) -> bytes:
+    data = b""
+    while len(data) < size:
+        chunk = sock.recv(size - len(data))
+        if not chunk:
+            raise ConnectionError(f"EOF after {len(data)}/{size} bytes")
+        data += chunk
+    return data
+
+
+def check_response(raw_header: bytes, sock: socket.socket) -> None:
+    magic, version, frame_type, length, crc = HEADER.unpack(raw_header)
+    assert magic == MAGIC, f"bad magic {magic!r}"
+    assert version == VERSION, f"bad version {version}"
+    assert frame_type == FRAME_RESPONSE, f"bad frame type {frame_type}"
+    payload = recv_exact(sock, length)
+    assert zlib.crc32(payload) & 0xFFFFFFFF == crc, "payload CRC mismatch"
+
+    # Full parse: every declared length must line up with the payload
+    # end, exactly — the same reject-or-bit-exact discipline as C++.
+    off = 0
+
+    def read(fmt):
+        nonlocal off
+        s = struct.Struct(fmt)
+        values = s.unpack_from(payload, off)
+        off += s.size
+        return values if len(values) > 1 else values[0]
+
+    status = read("<I")
+    shed_reason = read("<I")
+    shed_tenant = read("<I")
+    deadline_exceeded = read("<Q")
+    num_queries = read("<I")
+    assert status in (STATUS_OK, STATUS_SHED, STATUS_DEADLINE), status
+    if status == STATUS_SHED:
+        assert shed_reason != SHED_NONE and num_queries == 0
+    else:
+        assert shed_reason == SHED_NONE and shed_tenant == 0
+    expired_statuses = 0
+    for _ in range(num_queries):
+        query_status = read("<I")
+        assert query_status in (0, 1), query_status
+        expired_statuses += query_status == 1
+        num_results = read("<I")
+        for _ in range(num_results):
+            trajectory = read("<I")
+            distance = read("<d")
+            assert distance >= 0.0, (trajectory, distance)
+    if num_queries:
+        assert deadline_exceeded == expired_statuses
+    read(f"<{NUM_STAT_COUNTERS}Q")  # SearchStats counters
+    read("<d")  # elapsed_ms
+    assert off == len(payload), f"{len(payload) - off} trailing bytes"
+    assert status == STATUS_OK, f"smoke request unexpectedly not served: {status}"
+    assert num_queries == 1, num_queries
+
+
+def main() -> int:
+    server_bin = sys.argv[1] if len(sys.argv) > 1 else "build/apps/gat_server"
+    proc = subprocess.Popen(
+        [server_bin, "--trajectories", "100", "--seed", "29"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+    )
+    try:
+        banner = proc.stdout.readline().decode()
+        assert banner.startswith("LISTENING "), f"bad banner {banner!r}"
+        port = int(banner.split()[1])
+
+        # --- a well-formed request round trip -------------------------
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(build_request())
+            check_response(recv_exact(sock, HEADER.size), sock)
+        print("wire_smoke: request/response OK")
+
+        # --- a corrupted frame: clean close, zero bytes ---------------
+        bad = bytearray(build_request())
+        bad[HEADER.size + 3] ^= 0x20  # flip one payload bit
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(bytes(bad))
+            sock.settimeout(10)
+            leaked = sock.recv(1)
+            assert leaked == b"", f"server sent {leaked!r} after corruption"
+        print("wire_smoke: corrupt frame closed cleanly")
+
+        # --- and the server is still alive afterwards -----------------
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(build_request())
+            check_response(recv_exact(sock, HEADER.size), sock)
+        print("wire_smoke: server alive after corruption")
+    finally:
+        proc.stdin.close()
+        code = proc.wait(timeout=30)
+    assert code == 0, f"gat_server exit code {code}"
+    print("wire_smoke: clean shutdown (exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,11 @@
 namespace gat {
 
 /// Query flavour: ATSQ (order-free, Section II) or OATSQ (order-sensitive,
-/// Section VI).
+/// Section VI). Values are wire-stable (encoded by gat/net, see
+/// docs/WIRE_PROTOCOL.md): add at the end, never renumber.
 enum class QueryKind {
-  kAtsq,
-  kOatsq,
+  kAtsq = 0,
+  kOatsq = 1,
 };
 
 std::string ToString(QueryKind kind);

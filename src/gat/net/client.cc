@@ -1,0 +1,112 @@
+#include "gat/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace gat::wire {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReadExact(char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = read(fd_, data + got, size - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+  return true;
+}
+
+bool Client::Call(const ServeRequest& request, ServeResult* result) {
+  if (fd_ < 0) return false;
+  if (!SendRaw(EncodeRequestFrame(request))) return false;
+  return ReadResponse(result);
+}
+
+bool Client::ReadResponse(ServeResult* result) {
+  if (fd_ < 0) return false;
+  char header_bytes[kHeaderBytes];
+  FrameHeader header;
+  if (!ReadExact(header_bytes, sizeof(header_bytes)) ||
+      !ParseFrameHeader(header_bytes, sizeof(header_bytes), &header) ||
+      header.type != FrameType::kServeResponse) {
+    Close();
+    return false;
+  }
+  std::vector<char> payload(header.payload_bytes);
+  if (!ReadExact(payload.data(), payload.size())) {
+    Close();
+    return false;
+  }
+  const std::string_view view(payload.data(), payload.size());
+  if (!VerifyPayload(header, view) || !DecodeResultPayload(view, result)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::AwaitCleanClose() {
+  if (fd_ < 0) return false;
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = read(fd_, &byte, 1);
+    if (n == 0) {
+      Close();
+      return true;  // EOF with no stray bytes
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return false;  // unexpected bytes or a hard error
+  }
+}
+
+}  // namespace gat::wire

@@ -1,0 +1,65 @@
+#ifndef GAT_NET_CLIENT_H_
+#define GAT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gat/net/codec.h"
+#include "gat/serve/front_door.h"
+
+namespace gat::wire {
+
+/// A blocking `GATW` client: connect, send a request frame, wait for
+/// the response frame. The test/bench/example counterpart of `Server`
+/// — deliberately synchronous (one outstanding call per Call), with a
+/// raw-bytes escape hatch so the corruption tests can speak broken
+/// protocol on purpose.
+///
+/// Every transport or protocol error closes the connection and fails
+/// the call; the client applies the same reject-or-bit-exact decode
+/// discipline as the server (a malformed server response is an error,
+/// never a crash).
+///
+/// Thread-safety: none; one thread per client.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// IPv4 host ("127.0.0.1") + port. False on failure.
+  bool Connect(const std::string& host, uint16_t port);
+
+  /// Sends `request` and blocks for its response. False on any
+  /// transport or protocol error (the connection is closed then and
+  /// `*result` is unspecified).
+  bool Call(const ServeRequest& request, ServeResult* result);
+
+  /// Blocks for one response frame without sending anything. With
+  /// several requests already written (via SendRaw), responses arrive
+  /// strictly in request order — the pipelining half of Call.
+  bool ReadResponse(ServeResult* result);
+
+  /// Sends arbitrary bytes as-is. For protocol tests.
+  bool SendRaw(const std::string& bytes);
+
+  /// Blocks until the server closes the connection. True iff EOF
+  /// arrived with zero intervening bytes — the server's clean close
+  /// after a protocol violation sends nothing.
+  bool AwaitCleanClose();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Reads exactly `size` bytes. False on EOF or error.
+  bool ReadExact(char* data, size_t size);
+
+  int fd_ = -1;
+};
+
+}  // namespace gat::wire
+
+#endif  // GAT_NET_CLIENT_H_

@@ -1,0 +1,87 @@
+#include "gat/net/session.h"
+
+#include <utility>
+
+namespace gat::wire {
+
+void Session::Append(const char* data, size_t size) {
+  if (closed_) return;
+  // Compact the consumed prefix before growing: the buffer never holds
+  // more than the unparsed tail plus one incoming read.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+Session::Event Session::Next(ServeRequest* out) {
+  if (closed_) return Event::kClosed;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return Event::kNeedMore;
+  const char* frame = buffer_.data() + consumed_;
+  FrameHeader header;
+  if (!ParseFrameHeader(frame, kHeaderBytes, &header)) {
+    closed_ = true;
+    return Event::kClosed;
+  }
+  // A server session speaks one direction: responses arriving here
+  // mean a confused (or hostile) peer.
+  if (header.type != FrameType::kServeRequest) {
+    closed_ = true;
+    return Event::kClosed;
+  }
+  if (available < kHeaderBytes + header.payload_bytes) {
+    return Event::kNeedMore;
+  }
+  const std::string_view payload(frame + kHeaderBytes, header.payload_bytes);
+  if (!VerifyPayload(header, payload)) {
+    closed_ = true;
+    return Event::kClosed;
+  }
+  ServeRequest request;
+  if (!DecodeRequestPayload(payload, &request)) {
+    closed_ = true;
+    return Event::kClosed;
+  }
+  consumed_ += kHeaderBytes + header.payload_bytes;
+  ++frames_decoded_;
+  *out = std::move(request);
+  return Event::kRequest;
+}
+
+DispatchOutcome TryServeFastPath(FrontDoor& door, const ServeRequest& request,
+                                 std::string* frame) {
+  if (!door.TryAdmit(request.tenant)) {
+    ServeResult shed;
+    shed.status = ServeStatus::kShed;
+    shed.shed_reason = ShedReason::kTenantRateLimit;
+    shed.shed_tenant = request.tenant;
+    *frame = EncodeResultFrame(shed);
+    return DispatchOutcome::kResponded;
+  }
+  QueryContext context;
+  context.clock = &door.clock();
+  context.deadline_micros = request.deadline_micros;
+  if (context.Expired()) {
+    // Already dead at admission: ServeAdmitted's entry gate refuses it
+    // without creating any engine work, so answering inline is free.
+    *frame = EncodeResultFrame(door.ServeAdmitted(request));
+    return DispatchOutcome::kResponded;
+  }
+  return DispatchOutcome::kNeedsEngine;
+}
+
+std::string ServeAdmittedFrame(FrontDoor& door, const ServeRequest& request) {
+  return EncodeResultFrame(door.ServeAdmitted(request));
+}
+
+std::string ServeFrame(FrontDoor& door, const ServeRequest& request) {
+  std::string frame;
+  if (TryServeFastPath(door, request, &frame) == DispatchOutcome::kResponded) {
+    return frame;
+  }
+  return ServeAdmittedFrame(door, request);
+}
+
+}  // namespace gat::wire

@@ -1,0 +1,87 @@
+#ifndef GAT_NET_SESSION_H_
+#define GAT_NET_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gat/net/codec.h"
+#include "gat/serve/front_door.h"
+
+namespace gat::wire {
+
+/// The per-connection protocol state machine, sans-io: bytes go in
+/// through `Append` (from any transport — a socket, a test buffer),
+/// decoded requests come out of `Next`. The session never touches a
+/// file descriptor, which is what makes the whole
+/// read-frames → decode → serve → encode loop testable without
+/// sockets.
+///
+/// Error handling is the protocol's core promise: any malformed input
+/// — bad magic or version, unknown frame type, oversized declared
+/// length, CRC mismatch, undecodable or inconsistent payload, or a
+/// response frame where a request belongs — moves the session to
+/// `closed` permanently. A closed session consumes no further bytes
+/// and emits no further requests; the transport's only job is to
+/// close the connection. Never a crash, by construction: every read
+/// is bounds-checked and every enum value range-checked before use.
+///
+/// Thread-safety: none. One session belongs to one connection and is
+/// driven by one thread at a time (the server's poll thread).
+class Session {
+ public:
+  enum class Event : uint8_t {
+    kNeedMore = 0,  // no complete frame buffered; feed more bytes
+    kRequest = 1,   // *out holds the next decoded request
+    kClosed = 2,    // protocol violation; the connection must close
+  };
+
+  /// Feeds transport bytes. No-op once closed.
+  void Append(const char* data, size_t size);
+
+  /// Consumes the next complete frame. Call in a loop after every
+  /// Append until it stops returning kRequest.
+  Event Next(ServeRequest* out);
+
+  bool closed() const { return closed_; }
+
+  /// Frames decoded / rejected over the session's lifetime.
+  uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // compacted lazily
+  bool closed_ = false;
+  uint64_t frames_decoded_ = 0;
+};
+
+/// Outcome of the fast-path dispatch below.
+enum class DispatchOutcome : uint8_t {
+  /// `*frame` holds the complete encoded response; zero engine work
+  /// (and zero executor tasks) were performed.
+  kResponded = 0,
+  /// The request was admitted and is live: the caller must run
+  /// `ServeAdmittedFrame`, on whatever thread it schedules work.
+  kNeedsEngine = 1,
+};
+
+/// The zero-engine-work half of serving: charges admission and checks
+/// the deadline on the calling thread. A shed or already-expired
+/// request is fully answered here — no task submitted, no shard
+/// pinned, nothing — which is what lets the server keep the
+/// "shedding overload costs nothing" invariant across the socket
+/// boundary (`Executor::tasks_submitted()` provably unchanged).
+DispatchOutcome TryServeFastPath(FrontDoor& door, const ServeRequest& request,
+                                 std::string* frame);
+
+/// The blocking half: runs an already-admitted, live request through
+/// the engine and encodes the response frame. Pair with
+/// `TryServeFastPath` (which performed the admission).
+std::string ServeAdmittedFrame(FrontDoor& door, const ServeRequest& request);
+
+/// Convenience for inline serving (tests, single-threaded servers):
+/// full admission + execution + encode.
+std::string ServeFrame(FrontDoor& door, const ServeRequest& request);
+
+}  // namespace gat::wire
+
+#endif  // GAT_NET_SESSION_H_

@@ -37,7 +37,6 @@ bool FrontDoor::TryAdmit(uint32_t tenant) {
 }
 
 ServeResult FrontDoor::ServeAdmitted(const ServeRequest& request) {
-  GAT_CHECK(request.queries != nullptr);
   ServeResult out;
 
   QueryContext context;
@@ -55,7 +54,7 @@ ServeResult FrontDoor::ServeAdmitted(const ServeRequest& request) {
   }
 
   BatchResult batch =
-      engine_.Run(*request.queries, request.k, request.kind, &context);
+      engine_.Run(request.queries, request.k, request.kind, &context);
   if (batch.deadline_exceeded > 0) {
     // Expired mid-batch. Never partial results: the whole request
     // reports deadline-exceeded with empty answers. The stats stay —
@@ -79,6 +78,8 @@ ServeResult FrontDoor::Serve(const ServeRequest& request) {
   if (!TryAdmit(request.tenant)) {
     ServeResult out;
     out.status = ServeStatus::kShed;
+    out.shed_reason = ShedReason::kTenantRateLimit;
+    out.shed_tenant = request.tenant;
     return out;
   }
   return ServeAdmitted(request);

@@ -36,25 +36,47 @@ struct FrontDoorOptions {
 
 /// One request at the front door: a tenant's query batch plus its
 /// serving envelope (priority class and absolute deadline).
+///
+/// The request OWNS its queries. A decoded wire request has no
+/// caller-side vector to borrow, so ownership is the only shape that
+/// survives the socket boundary; in-process callers move their batch in
+/// (or keep the request alive and reuse it — Serve takes const-ref and
+/// never consumes the payload).
 struct ServeRequest {
   uint32_t tenant = 0;
   RequestPriority priority = RequestPriority::kInteractive;
   /// Absolute deadline in the front door's clock domain; 0 = none.
   uint64_t deadline_micros = 0;
-  /// Borrowed; must stay alive for the duration of Serve.
-  const std::vector<Query>* queries = nullptr;
+  std::vector<Query> queries;
   size_t k = 10;
   QueryKind kind = QueryKind::kAtsq;
 };
 
+/// Request-level outcome. The numeric values are wire-stable: they are
+/// encoded verbatim by gat/net and documented in docs/WIRE_PROTOCOL.md.
+/// Add new values at the end; never renumber.
 enum class ServeStatus : uint8_t {
   kOk = 0,
   kShed = 1,              // refused at admission; no engine work done
   kDeadlineExceeded = 2,  // admitted but expired; results are empty
 };
 
+/// Which admission policy refused a shed request. Machine-readable so
+/// the wire layer never invents error strings. Values are wire-stable
+/// (see docs/WIRE_PROTOCOL.md); add at the end, never renumber.
+enum class ShedReason : uint8_t {
+  kNone = 0,
+  /// The tenant's token bucket had no token at admission time.
+  /// ServeResult::shed_tenant names the tenant whose budget it was.
+  kTenantRateLimit = 1,
+};
+
 struct ServeResult {
   ServeStatus status = ServeStatus::kOk;
+  /// Machine-readable shed detail: which policy refused the request and
+  /// whose budget was exhausted. kNone unless status == kShed.
+  ShedReason shed_reason = ShedReason::kNone;
+  uint32_t shed_tenant = 0;
   /// Populated only when status == kOk. Deadline-exceeded requests
   /// carry the batch's stats (the work burnt before expiry) but no
   /// results.

@@ -97,13 +97,6 @@ DriveOutcome RunOpenLoop(FrontDoor& door, ManualClock& clock,
     q.pop_front();
     ClassOutcome& cls = class_of(spec.priority);
 
-    std::vector<Query> queries;
-    queries.reserve(spec.num_queries);
-    for (uint32_t j = 0; j < spec.num_queries; ++j) {
-      queries.push_back(
-          query_pool[(spec.pool_offset + j) % query_pool.size()]);
-    }
-
     ServeRequest request;
     request.tenant = spec.tenant;
     request.priority = spec.priority;
@@ -111,7 +104,11 @@ DriveOutcome RunOpenLoop(FrontDoor& door, ManualClock& clock,
       request.deadline_micros =
           MsToMicros(spec.arrival_ms + spec.deadline_budget_ms);
     }
-    request.queries = &queries;
+    request.queries.reserve(spec.num_queries);
+    for (uint32_t j = 0; j < spec.num_queries; ++j) {
+      request.queries.push_back(
+          query_pool[(spec.pool_offset + j) % query_pool.size()]);
+    }
     request.k = options.k;
     request.kind = options.kind;
 
@@ -168,6 +165,8 @@ DriveOutcome RunOpenLoop(FrontDoor& door, ManualClock& clock,
         if (observer) {
           ServeResult shed;
           shed.status = ServeStatus::kShed;
+          shed.shed_reason = ShedReason::kTenantRateLimit;
+          shed.shed_tenant = spec.tenant;
           observer(spec, shed);
         }
       }

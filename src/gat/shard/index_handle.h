@@ -47,6 +47,41 @@ struct ShardRevision {
   }
 };
 
+/// A pinned, read-only view of one shard's serving index. RAII face of
+/// the revision refcount: while a PinnedShard is alive, the revision it
+/// names — index, mapping, disk tier — cannot be destroyed, no matter
+/// how many `ReloadShard`s retire it underneath. Copyable (a copy is
+/// another pin) and cheap to move; drop it to release the pin.
+///
+/// This is the only way `ShardedIndex` hands out per-shard indexes:
+/// the old unpinned `shard_index()`-returns-a-bare-reference shape was
+/// a use-after-free trap under concurrent reload and is gone.
+class PinnedShard {
+ public:
+  PinnedShard() = default;
+  explicit PinnedShard(std::shared_ptr<const ShardRevision> revision)
+      : revision_(std::move(revision)) {}
+
+  /// The pinned index. Valid while this (or any copy) is alive.
+  const GatIndex& index() const { return *revision_->index; }
+  const GatIndex& operator*() const { return *revision_->index; }
+  const GatIndex* operator->() const { return revision_->index; }
+
+  /// The revision's install epoch (0 = constructed generation).
+  uint64_t epoch() const { return revision_->epoch; }
+
+  /// The underlying revision, for callers that need the storage side
+  /// (e.g. the prefetcher reading the mapped tier).
+  const std::shared_ptr<const ShardRevision>& revision() const {
+    return revision_;
+  }
+
+  explicit operator bool() const { return revision_ != nullptr; }
+
+ private:
+  std::shared_ptr<const ShardRevision> revision_;
+};
+
 /// The epoch-guarded swap point of one shard: a shared_ptr published
 /// under a mutex. `Pin` is the read side (a search acquires the current
 /// revision and holds it for the duration of its shard visit — two

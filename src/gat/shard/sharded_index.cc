@@ -126,11 +126,9 @@ const Dataset& ShardedIndex::shard_dataset(uint32_t shard) const {
   return shard_datasets_[shard];
 }
 
-const GatIndex& ShardedIndex::shard_index(uint32_t shard) const {
+PinnedShard ShardedIndex::shard_index(uint32_t shard) const {
   GAT_CHECK(shard < num_shards_);
-  // Unpinned by contract (see header): the revision outlives the
-  // returned reference only while no reload retires it.
-  return *handles_[shard].Pin()->index;
+  return PinnedShard(handles_[shard].Pin());
 }
 
 std::shared_ptr<const ShardRevision> ShardedIndex::PinShard(
@@ -184,15 +182,6 @@ uint32_t ShardedIndex::shards_mmap_served() const {
     if (handles_[shard].Pin()->mapped != nullptr) ++count;
   }
   return count;
-}
-
-std::vector<const GatIndex*> ShardedIndex::shard_index_views() const {
-  std::vector<const GatIndex*> views;
-  views.reserve(num_shards_);
-  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    views.push_back(&shard_index(shard));
-  }
-  return views;
 }
 
 bool ShardedIndex::SaveSnapshots(const std::string& dir) const {

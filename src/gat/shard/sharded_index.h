@@ -103,11 +103,12 @@ class ShardedIndex {
 
   const Dataset& shard_dataset(uint32_t shard) const;
 
-  /// Unpinned view of the shard's current index — valid only while no
-  /// concurrent `ReloadShard` can retire it (construction-time callers,
-  /// benches and tests without a reloader). Live-reload paths must use
-  /// `PinShard`.
-  const GatIndex& shard_index(uint32_t shard) const;
+  /// The shard's current serving index, pinned: the returned RAII view
+  /// keeps the revision (index, mapping, disk tier) alive until it is
+  /// dropped, across any number of concurrent `ReloadShard`s. There is
+  /// no unpinned accessor — a bare reference was a use-after-free trap
+  /// under reload. Pins must not outlive the ShardedIndex.
+  PinnedShard shard_index(uint32_t shard) const;
 
   /// Pins the shard's current serving revision: index, mapping and disk
   /// tier stay valid until the returned pointer is dropped, across any
@@ -166,12 +167,6 @@ class ShardedIndex {
   /// Shards currently served from a mapped snapshot (== num_shards() in
   /// mmap mode unless a shard fell back to RAM, e.g. unwritable dir).
   uint32_t shards_mmap_served() const;
-
-  /// All shard indexes, in shard order — the handle a static
-  /// `PrefetchScheduler` is built from. Unpinned, like `shard_index`;
-  /// under live reload build the scheduler over the ShardedIndex
-  /// itself (it pins per query).
-  std::vector<const GatIndex*> shard_index_views() const;
 
   /// Wall-clock seconds of the whole construction (partition + parallel
   /// build/load).

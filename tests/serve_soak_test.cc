@@ -98,7 +98,7 @@ TEST_F(ServeSoakTest, ShedRequestsConsumeNoExecutorWorkUnderOverload) {
     clients.emplace_back([&, c] {
       ServeRequest request;
       request.tenant = 0;  // one shared tenant: maximum contention
-      request.queries = &client_queries_[c];
+      request.queries = client_queries_[c];
       request.k = kTopK;
       for (uint32_t r = 0; r < kRequestsPerClient; ++r) {
         ServeResult result = door.Serve(request);
@@ -166,7 +166,7 @@ TEST_F(ServeSoakTest, MixedPriorityClassesStayExactUnderConcurrency) {
       request.tenant = c;  // per-client tenants: everything admits
       request.priority = (c % 2 == 0) ? RequestPriority::kInteractive
                                       : RequestPriority::kBulk;
-      request.queries = &client_queries_[c];
+      request.queries = client_queries_[c];
       request.k = kTopK;
       for (uint32_t r = 0; r < 8; ++r) {
         ServeResult result = door.Serve(request);

@@ -263,7 +263,7 @@ TEST_F(ServeTest, ShedRequestCreatesZeroExecutorTasks) {
 
   ServeRequest request;
   request.tenant = 0;
-  request.queries = &queries_;
+  request.queries = queries_;
   request.k = 5;
 
   // First request: admitted, runs on the pool.
@@ -293,7 +293,7 @@ TEST_F(ServeTest, ExpiredAtAdmissionDoesZeroEngineWork) {
 
   clock.SetMicros(5'000);
   ServeRequest request;
-  request.queries = &queries_;
+  request.queries = queries_;
   request.deadline_micros = 5'000;  // now == deadline → expired
 
   const uint64_t before = executor.tasks_submitted();
@@ -320,7 +320,7 @@ TEST_F(ServeTest, DeadlineJustAheadOfNowCompletes) {
 
   clock.SetMicros(5'000);
   ServeRequest request;
-  request.queries = &queries_;
+  request.queries = queries_;
   request.deadline_micros = 5'001;
 
   ServeResult result = door.Serve(request);
@@ -391,7 +391,7 @@ TEST_F(ServeTest, MidBatchExpiryRefusesRemainingQueriesAndAllResults) {
   options.clock = &clock;
   FrontDoor door(engine, options);
   ServeRequest request;
-  request.queries = &batch_queries;
+  request.queries = batch_queries;
   request.k = 5;
   request.deadline_micros = 2'000;
   ServeResult served = door.Serve(request);
