@@ -241,7 +241,11 @@ struct Measurement {
   /// by #queries), so it stays comparable across --threads settings.
   double avg_ms = 0.0;
   /// The paper-comparable "running time": `avg_ms` plus the simulated
-  /// disk latency of every page/record fetch. Also thread-independent.
+  /// disk latency of the batch's *critical-path* reads
+  /// (SearchStats::CriticalDiskReads — the slowest parallel branch for
+  /// fan-out searchers, exactly `disk_reads` for sequential ones, which
+  /// keeps every sequential baseline number unchanged). Also
+  /// thread-independent.
   double avg_cost_ms = 0.0;
   SearchStats totals;        ///< counters of one batch (deterministic)
   /// Throughput: mean batch wall-clock per query across timed repeats.
@@ -285,6 +289,23 @@ struct Measurement {
   uint64_t shed = 0;
   uint64_t deadline_misses = 0;
   double goodput_qps = 0.0;
+  /// Async-I/O observability (bench_storage_tier): which physical read
+  /// path served the point ("mmap", "io_uring", "thread-pool",
+  /// "simulated") and how many demand fetches stalled on cold blocks
+  /// during the measurement (tier-stats delta, set by the bench).
+  /// `worker_stalls` is interleaving-dependent above --threads 1 —
+  /// advisory in diffs.
+  bool has_io = false;
+  std::string io_backend;
+  uint64_t worker_stalls = 0;
+  /// Scan-resistant admission observability: deltas of the cache's
+  /// admission counters across the last timed batch. Deterministic at
+  /// --threads 1 (bench_diff.py gates them exactly there, advisory
+  /// above). Set by benches that opt a point into
+  /// CacheAdmission::kScanResistant.
+  bool has_admission = false;
+  uint64_t admission_rejects = 0;
+  uint64_t ghost_hits = 0;
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
@@ -300,17 +321,19 @@ inline double PercentileMs(const std::vector<double>& sorted, double p) {
 /// `warmup` un-timed batches, then timed batches until the relative
 /// standard deviation of the batch wall-clocks reaches `target_rsd_pct`
 /// (or `max_repeat` batches). `avg_cost_ms` is the paper-comparable
-/// "running time": CPU wall-clock plus the simulated disk latency of every
-/// page/record fetch the method performed.
+/// "running time": CPU wall-clock plus the simulated disk latency of the
+/// method's critical-path fetches (see Measurement::avg_cost_ms).
 inline Measurement MeasureWorkload(const Searcher& searcher,
                                    const std::vector<Query>& queries, size_t k,
                                    QueryKind kind, const BenchProtocol& proto,
                                    const PrefetchScheduler* prefetcher =
-                                       nullptr) {
+                                       nullptr,
+                                   const IoStager* stager = nullptr) {
   Measurement m;
   if (queries.empty()) return m;
   QueryEngine engine(searcher, EngineOptions{.threads = proto.threads,
-                                             .prefetcher = prefetcher});
+                                             .prefetcher = prefetcher,
+                                             .stager = stager});
   m.threads = engine.threads();
 
   for (uint32_t w = 0; w < proto.warmup; ++w) {
@@ -350,6 +373,8 @@ inline Measurement MeasureWorkload(const Searcher& searcher,
       m.has_cache = true;
       m.cache_block_bytes = batch.storage.block_bytes;
       m.prefetched_blocks = batch.storage.prefetched;
+      m.admission_rejects = batch.storage.admission_rejects;
+      m.ghost_hits = batch.storage.ghost_hits;
     }
     if (batch_ms.size() >= 2) {
       m.rsd_pct = rsd_of(batch_ms);
@@ -366,8 +391,13 @@ inline Measurement MeasureWorkload(const Searcher& searcher,
   // CPU time from the searchers' own per-query stopwatches: the sum over a
   // batch is invariant to how the engine spread the queries over threads.
   m.avg_ms = mean_of(cpu_ms) / static_cast<double>(queries.size());
+  // The simulated disk charge uses the *critical-path* reads: a fan-out
+  // searcher pays its slowest parallel branch, not the sum of branches —
+  // the same rule the per-query latency sample above already applies.
+  // For sequential searchers CriticalDiskReads() == disk_reads exactly.
   m.avg_cost_ms = m.avg_ms + DiskPenaltyMsFromEnv() *
-                                 static_cast<double>(m.totals.disk_reads) /
+                                 static_cast<double>(
+                                     m.totals.CriticalDiskReads()) /
                                  static_cast<double>(queries.size());
   return m;
 }
@@ -424,7 +454,8 @@ class BenchReport {
     // when a cache-backed prefetcher reported its block size — a bench
     // driving a mapped searcher without a prefetcher still wants its
     // blocks_read gated (block_size then reads 0 = "not reported").
-    rec.has_cache = m.has_cache || m.totals.block_hits + m.totals.blocks_read > 0;
+    rec.has_cache =
+        m.has_cache || m.totals.block_hits + m.totals.blocks_read > 0;
     rec.block_size = m.cache_block_bytes;
     rec.block_hits = m.totals.block_hits;
     rec.blocks_read = m.totals.blocks_read;
@@ -438,6 +469,12 @@ class BenchReport {
     rec.shed = m.shed;
     rec.deadline_misses = m.deadline_misses;
     rec.goodput_qps = m.goodput_qps;
+    rec.has_io = m.has_io;
+    rec.io_backend = m.io_backend;
+    rec.worker_stalls = m.worker_stalls;
+    rec.has_admission = m.has_admission;
+    rec.admission_rejects = m.admission_rejects;
+    rec.ghost_hits = m.ghost_hits;
     records_.push_back(std::move(rec));
   }
 
@@ -538,6 +575,24 @@ class BenchReport {
                      static_cast<unsigned long long>(r.deadline_misses),
                      r.goodput_qps);
       }
+      if (r.has_io) {
+        // Physical read path of this point plus the demand fetches that
+        // stalled on cold blocks. The backend string is advisory (it
+        // differs across kernels — pread fallback vs io_uring);
+        // `worker_stalls` is exact only at --threads 1.
+        std::fprintf(f, ", \"io_backend\": \"%s\", \"worker_stalls\": %llu",
+                     Escaped(r.io_backend).c_str(),
+                     static_cast<unsigned long long>(r.worker_stalls));
+      }
+      if (r.has_admission) {
+        // Scan-resistant admission deltas of the last timed batch —
+        // deterministic at --threads 1 with equal repeats (bench_diff.py
+        // gates them exactly there, advisory above).
+        std::fprintf(f,
+                     ", \"admission_rejects\": %llu, \"ghost_hits\": %llu",
+                     static_cast<unsigned long long>(r.admission_rejects),
+                     static_cast<unsigned long long>(r.ghost_hits));
+      }
       if (r.has_cache) {
         // Block-cache fields (mmap disk tier): `blocks_read` is the
         // demand misses of the last timed batch — deterministic at
@@ -592,6 +647,12 @@ class BenchReport {
     uint64_t shed = 0;
     uint64_t deadline_misses = 0;
     double goodput_qps = 0.0;
+    bool has_io = false;       // io fields below are meaningful
+    std::string io_backend;
+    uint64_t worker_stalls = 0;
+    bool has_admission = false;  // admission fields below are meaningful
+    uint64_t admission_rejects = 0;
+    uint64_t ghost_hits = 0;
   };
 
   static std::string Escaped(const std::string& s) {

@@ -20,7 +20,9 @@ const Searcher& DerefSearcher(const std::unique_ptr<Searcher>& searcher) {
 }  // namespace
 
 QueryEngine::QueryEngine(const Searcher& searcher, EngineOptions options)
-    : searcher_(searcher), prefetcher_(options.prefetcher) {
+    : searcher_(searcher),
+      prefetcher_(options.prefetcher),
+      stager_(options.stager) {
   if (options.executor != nullptr) {
     executor_ = options.executor;
     threads_ = executor_->threads();
@@ -56,11 +58,14 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
     return batch;
   }
 
-  // Storage observability: sample the prefetcher's cache around the
-  // batch so the result carries the hit/miss/prefetch deltas this batch
-  // caused (interleaved when batches share the cache concurrently).
+  // Storage observability: sample the stager's (else the prefetcher's)
+  // cache around the batch so the result carries the hit/miss/prefetch
+  // deltas this batch caused (interleaved when batches share the cache
+  // concurrently).
   const BlockCache* cache =
-      prefetcher_ != nullptr ? prefetcher_->cache() : nullptr;
+      stager_ != nullptr
+          ? stager_->cache()
+          : (prefetcher_ != nullptr ? prefetcher_->cache() : nullptr);
   BlockCacheStats cache_before;
   if (cache != nullptr) cache_before = cache->Snapshot();
 
@@ -109,6 +114,55 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
       prefetcher_->PrefetchBatch(queries);
     }
     task_body(0);
+  } else if (stager_ != nullptr) {
+    // Stage-then-search: every query is its own deferred task. Its
+    // predicted cold blocks go to the async tier first, and the search
+    // enters the executor queue only from the staging completion
+    // (Deferred::Resume) — a cold query holds a *reserved group slot*
+    // while its I/O runs instead of pinning a pool worker. A query
+    // whose working set is resident resumes inline from Stage, so a
+    // warm batch degenerates to plain per-query tasks. One per_thread
+    // slot per query keeps the merge single-writer and deterministic.
+    batch.per_thread.assign(queries.size(), SearchStats{});
+    TaskGroup group(*executor_, TaskPriorityFor(context));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Deadline at the staging boundary: no I/O staged on behalf of a
+      // query that would be refused anyway.
+      if (context != nullptr && context->Expired()) {
+        batch.statuses[i] = QueryStatus::kDeadlineExceeded;
+        batch.per_thread[i].deadline_skips += 1;
+        continue;
+      }
+      // The stopwatch starts at stage submission, so a staged query's
+      // latency includes its I/O wait — the number the stall metric is
+      // judged against.
+      Stopwatch query_timer;
+      auto run_search = [this, &batch, &queries, i, k, kind, context,
+                         query_timer] {
+        SearchStats& acc = batch.per_thread[i];
+        if (context != nullptr && context->Expired()) {
+          batch.statuses[i] = QueryStatus::kDeadlineExceeded;
+          acc.deadline_skips += 1;
+          return;
+        }
+        SearchStats per_query;
+        batch.results[i] =
+            searcher_.Search(queries[i], k, kind, &per_query, context);
+        batch.latencies[i].wall_ms = query_timer.ElapsedMillis();
+        batch.latencies[i].critical_disk_reads =
+            per_query.CriticalDiskReads();
+        if (per_query.deadline_skips > 0) {
+          batch.statuses[i] = QueryStatus::kDeadlineExceeded;
+          batch.results[i].clear();
+        }
+        acc += per_query;
+      };
+      const TaskGroup::Deferred deferred = group.Defer();
+      stager_->Stage(queries[i], [deferred, run_search] {
+        deferred.Resume(run_search);
+      });
+    }
+    group.Wait();
   } else {
     TaskGroup group(*executor_, TaskPriorityFor(context));
     // Prefetch tasks first: the FIFO queue hands them to the first free
@@ -143,6 +197,14 @@ BatchResult QueryEngine::Run(const std::vector<Query>& queries, size_t k,
     batch.storage.invalidated = after.invalidated - cache_before.invalidated;
     batch.storage.files_retired =
         after.files_retired - cache_before.files_retired;
+    batch.storage.admission_rejects =
+        after.admission_rejects - cache_before.admission_rejects;
+    batch.storage.ghost_hits = after.ghost_hits - cache_before.ghost_hits;
+    // Close the feedback loop: the batch's own demand-miss delta is the
+    // signal that widens or shrinks the prefetcher's prediction ring.
+    if (prefetcher_ != nullptr) {
+      prefetcher_->ObserveBatch(batch.storage.misses, queries.size());
+    }
   }
   batch.wall_ms = timer.ElapsedMillis();
   return batch;

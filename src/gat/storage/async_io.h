@@ -1,0 +1,270 @@
+#ifndef GAT_STORAGE_ASYNC_IO_H_
+#define GAT_STORAGE_ASYNC_IO_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gat/storage/block_cache.h"
+#include "gat/storage/disk_tier.h"
+#include "gat/storage/mapped_file.h"
+
+namespace gat {
+
+/// How AsyncBlockIo physically issues its reads.
+enum class IoBackend : uint8_t {
+  /// Portable fallback: a small pool of worker threads doing pread(2).
+  /// Exercises the exact same submission/completion scheduling path as
+  /// the io_uring backend, so CI containers that seccomp-block io_uring
+  /// still cover every layer above the syscall.
+  kThreadPool = 0,
+  /// io_uring via raw syscalls (no liburing dependency): one SQ/CQ ring
+  /// pair, submissions batched under a mutex, one reaper thread waiting
+  /// on completions.
+  kIoUring = 1,
+};
+
+const char* IoBackendName(IoBackend backend);
+
+/// Runtime probe: can this process set up an io_uring instance at all?
+/// False on pre-5.1 kernels (ENOSYS) and in sandboxes/containers whose
+/// seccomp policy blocks the syscall (EPERM/EACCES). Probed once per
+/// process and cached — the answer cannot change while we run.
+bool ProbeIoUring();
+
+/// AsyncBlockIo knobs.
+struct AsyncIoOptions {
+  /// Worker threads of the pread fallback pool (clamped to [1, 16]).
+  uint32_t workers = 2;
+  /// In-flight request bound; also the io_uring queue depth (rounded to
+  /// a power of two, clamped to [4, 512]). Submissions past the bound
+  /// block until completions free a slot.
+  uint32_t queue_depth = 64;
+  /// False forces the thread-pool backend even where io_uring probes
+  /// available (tests, A/B benches). The GAT_IO_BACKEND environment
+  /// variable overrides both directions: "pool" forces the fallback,
+  /// "uring" insists on io_uring (falling back, with the probe's
+  /// verdict logged through backend(), when unavailable).
+  bool allow_io_uring = true;
+};
+
+/// An asynchronous block-read engine over plain file descriptors — the
+/// I/O half of the "yield instead of stall" storage design. Callers
+/// submit positioned reads with a completion callback; the backend
+/// (io_uring where the kernel and sandbox allow it, a pread worker pool
+/// everywhere else) runs them off the submitting thread and invokes the
+/// callback from its completion context.
+///
+/// Completion callbacks must be fast and non-blocking: they run on the
+/// reaper/worker threads that every other in-flight read shares. The
+/// intended pattern is "verify, publish, then hand the continuation to
+/// an executor" (see AsyncDiskTier / TaskGroup::Defer).
+///
+/// Thread-safety: fully internally synchronized; `SubmitRead` may be
+/// called from any thread EXCEPT a completion callback — at the
+/// in-flight bound a submit-from-callback would deadlock the very
+/// completion context the bound waits on.
+class AsyncBlockIo {
+ public:
+  explicit AsyncBlockIo(const AsyncIoOptions& options = {});
+  /// Drains every in-flight read (their callbacks run) before tearing
+  /// the backend down.
+  ~AsyncBlockIo();
+
+  AsyncBlockIo(const AsyncBlockIo&) = delete;
+  AsyncBlockIo& operator=(const AsyncBlockIo&) = delete;
+
+  /// Reads `len` bytes at `offset` of `fd` into `buf`, then invokes
+  /// `done(result)` from the completion context: `result` is the byte
+  /// count pread would return (short at EOF) or a negative errno.
+  /// `buf` must stay valid until `done` runs. Blocks only when the
+  /// in-flight bound is reached.
+  void SubmitRead(int fd, uint64_t offset, void* buf, uint32_t len,
+                  std::function<void(int64_t)> done);
+
+  /// Blocks until every read submitted so far has completed.
+  void Drain();
+
+  IoBackend backend() const { return backend_; }
+  const char* backend_name() const { return IoBackendName(backend_); }
+
+  uint64_t reads_submitted() const {
+    return reads_submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t reads_completed() const {
+    return reads_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Request {
+    int fd = -1;
+    uint64_t offset = 0;
+    void* buf = nullptr;
+    uint32_t len = 0;
+    std::function<void(int64_t)> done;
+    // Bytes already read: both backends continue short reads from here
+    // until the request is full, at EOF, or errored — callers always
+    // see either `len`, the EOF-truncated total, or a negative errno.
+    uint32_t progress = 0;
+  };
+  struct UringState;  // defined in async_io.cc (raw ring bookkeeping)
+
+  void Complete(Request* request, int64_t result);
+  void PoolWorkerLoop();
+  void UringReaperLoop();
+  bool SetupUring(uint32_t queue_depth);
+  void TeardownUring();
+  /// Places `request` (continuing at `progress`) on the SQ ring and
+  /// io_uring_enter's it; caller holds submit_mu_.
+  void UringSubmitLocked(Request* request);
+
+  IoBackend backend_ = IoBackend::kThreadPool;
+  uint32_t queue_depth_ = 64;
+
+  // In-flight accounting shared by both backends: submission blocks at
+  // queue_depth_, Drain() waits for zero.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  uint64_t inflight_ = 0;
+
+  // Thread-pool backend.
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::deque<Request*> pool_queue_;
+  bool pool_stop_ = false;
+  std::vector<std::thread> pool_workers_;
+
+  // io_uring backend.
+  std::unique_ptr<UringState> uring_;
+  std::mutex submit_mu_;
+  std::thread reaper_;
+
+  std::atomic<uint64_t> reads_submitted_{0};
+  std::atomic<uint64_t> reads_completed_{0};
+};
+
+/// Activity counters of one AsyncDiskTier (monotonic, relaxed).
+struct AsyncTierStats {
+  /// Demand fetches that found cold blocks and had to block the calling
+  /// worker until the async reads completed — the blocked-slot metric.
+  /// Staging exists to drive this toward zero; what remains are the
+  /// blocks the predictor missed.
+  uint64_t worker_stalls = 0;
+  /// Cold blocks those stalled fetches waited on.
+  uint64_t stalled_blocks = 0;
+  /// Cold blocks submitted through StageExtents (the yield path: the
+  /// query's executor slot was free while these were in flight).
+  uint64_t staged_blocks = 0;
+  /// Every block read the backend performed (stall + stage + prefetch).
+  uint64_t async_reads = 0;
+};
+
+/// Explicit-async-I/O disk tier over one mapped snapshot — same cache,
+/// same accounting, same verify-then-publish contract as
+/// `MappedDiskTier`, different physics: a cold block is read with a
+/// real positioned read (io_uring or pread pool) into a scratch buffer
+/// and CRC-verified against the map-time checksum before it is
+/// published; the bytes served to the index remain the zero-copy
+/// mapping. Logical `disk_reads` and the per-block cache traffic are
+/// bit-identical to the pagefault tier for the same access sequence —
+/// the backends differ in wall time only.
+///
+/// The new capability is `StageExtents`: submit the cold blocks of a
+/// predicted working set and get a completion callback instead of a
+/// blocked thread — the hook `IoStager`/`QueryEngine` use to let a
+/// query yield its executor slot while its I/O is in flight. Demand
+/// misses that were not staged still complete synchronously inside
+/// `Fetch` (counted as `worker_stalls`, the metric staging minimizes).
+///
+/// O_DIRECT: the tier opens a second descriptor with O_DIRECT when the
+/// filesystem supports it and the cache block size is 4 KiB-aligned;
+/// aligned whole-block reads go through it (bypassing the page cache —
+/// real device I/O), everything else through the buffered descriptor.
+///
+/// Lifetime: same drain contract as MappedDiskTier, plus the destructor
+/// drains the I/O engine before unregistering from the cache, so no
+/// completion can publish into a recycled file id.
+class AsyncDiskTier final : public DiskTier {
+ public:
+  AsyncDiskTier(const MappedFile* file, const std::string& path,
+                BlockCache* cache, std::vector<uint32_t> block_crcs,
+                const AsyncIoOptions& io_options = {});
+  ~AsyncDiskTier() override;
+
+  void Fetch(uint64_t offset, uint64_t bytes,
+             DiskAccessCounter* counter) const override;
+
+  /// Synchronous-completion warm: cold blocks are read asynchronously
+  /// but the call returns only once they are published. Deterministic
+  /// residency (the property the --threads 1 bench counters gate);
+  /// overlap between queries comes from running Prefetch calls on
+  /// executor tasks, not from fire-and-forget.
+  void Prefetch(uint64_t offset, uint64_t bytes) const override;
+
+  /// Stages the cache blocks covering `extents` (pairs of offset,
+  /// bytes; zero-byte extents are skipped): resident blocks are warmed
+  /// in place, cold blocks are submitted as async reads. Returns the
+  /// number of cold blocks submitted; when it is 0, `ready` has already
+  /// been invoked inline, otherwise `ready` fires from the completion
+  /// context once every staged block is verified and published. Warm
+  /// lookups count under the cache's prefetch stats, exactly like
+  /// `Prefetch`.
+  size_t StageExtents(std::span<const std::pair<uint64_t, uint64_t>> extents,
+                      std::function<void()> ready) const;
+
+  AsyncTierStats stats() const;
+
+  IoBackend backend() const { return io_.backend(); }
+  const char* backend_name() const { return io_.backend_name(); }
+  /// True when the O_DIRECT descriptor is in use for aligned reads.
+  bool direct_io() const { return direct_fd_ >= 0; }
+
+  const BlockFileToken& token() const { return token_; }
+  const BlockCache& cache() const { return *cache_; }
+
+ private:
+  struct BlockGroup;  // one batch of in-flight cold-block reads
+
+  /// Submits async reads for `blocks` (deduplicated cold blocks). The
+  /// reads race; publication does not: the last completion runs
+  /// `FinalizeGroup`, which CRC-verifies and publishes every block *in
+  /// block order* — so the cache's LRU evolution is a deterministic
+  /// function of the access sequence, exactly as with the pagefault
+  /// tier, no matter how the physical reads interleaved. `done` runs
+  /// after the publishes (inline when `blocks` is empty); `prefetch`
+  /// selects which cache stats/admission class the publishes land in.
+  void SubmitBlockReads(std::vector<uint64_t> blocks,
+                        std::function<void()> done, bool prefetch) const;
+  void FinalizeGroup(BlockGroup* group) const;
+  /// Synchronous wrapper: SubmitBlockReads + wait for completion.
+  void ReadBlocksBlocking(std::vector<uint64_t> blocks, bool prefetch) const;
+
+  const MappedFile* file_;
+  BlockCache* cache_;
+  BlockFileToken token_;
+  std::vector<uint32_t> block_crcs_;
+  int fd_ = -1;         // buffered descriptor (always open)
+  int direct_fd_ = -1;  // O_DIRECT descriptor, -1 when unsupported
+
+  mutable std::atomic<uint64_t> worker_stalls_{0};
+  mutable std::atomic<uint64_t> stalled_blocks_{0};
+  mutable std::atomic<uint64_t> staged_blocks_{0};
+  mutable std::atomic<uint64_t> async_reads_{0};
+
+  // Last member: destroyed (and therefore drained) first, so no
+  // completion callback can outlive the fields above.
+  mutable AsyncBlockIo io_;
+};
+
+}  // namespace gat
+
+#endif  // GAT_STORAGE_ASYNC_IO_H_

@@ -168,7 +168,7 @@ void MappedDiskTier::Prefetch(uint64_t offset, uint64_t bytes) const {
 struct MappedSnapshotIo {
   static std::unique_ptr<GatIndex> LoadPayload(
       ByteReader& r, const MappedSnapshotOptions& options,
-      const MappedDiskTier* tier) {
+      const DiskTier* tier) {
     GatConfig config;
     int32_t depth = 0, memory_levels = 0, tas_intervals = 0;
     uint32_t fingerprint = 0;
@@ -225,7 +225,7 @@ struct MappedSnapshotIo {
  private:
   // ------------------------------------------------------------------ HICL
   static std::unique_ptr<Hicl> LoadHicl(ByteReader& r, const GatConfig& config,
-                                        const MappedDiskTier* tier,
+                                        const DiskTier* tier,
                                         Executor* executor) {
     if (!r.ExpectTag(kTagHicl)) return nullptr;
     std::unique_ptr<Hicl> hicl(new Hicl());
@@ -339,8 +339,7 @@ struct MappedSnapshotIo {
   }
 
   // ------------------------------------------------------------------- APL
-  static std::unique_ptr<Apl> LoadApl(ByteReader& r,
-                                      const MappedDiskTier* tier,
+  static std::unique_ptr<Apl> LoadApl(ByteReader& r, const DiskTier* tier,
                                       Executor* executor) {
     if (!r.ExpectTag(kTagApl)) return nullptr;
     std::unique_ptr<Apl> apl(new Apl());
@@ -462,8 +461,19 @@ std::unique_ptr<MappedSnapshot> MappedSnapshot::Load(
   }
   if (payload_crc != stored_crc) return nullptr;
 
-  snap->tier_ = std::make_unique<MappedDiskTier>(&snap->file_, snap->cache_,
-                                                 std::move(block_crcs));
+  if (options.io_mode == SnapshotIoMode::kAsync) {
+    // Explicit-I/O tier: same cache, same per-block checksums, but cold
+    // blocks become positioned reads through AsyncBlockIo (and gain the
+    // staging API). The tier opens its own descriptors on `path`.
+    auto async_tier = std::make_unique<AsyncDiskTier>(
+        &snap->file_, path, snap->cache_, std::move(block_crcs),
+        options.io_options);
+    snap->async_tier_ = async_tier.get();
+    snap->tier_ = std::move(async_tier);
+  } else {
+    snap->tier_ = std::make_unique<MappedDiskTier>(&snap->file_, snap->cache_,
+                                                   std::move(block_crcs));
+  }
   ByteReader reader{data, size, kHeaderBytes};
   snap->index_ = MappedSnapshotIo::LoadPayload(reader, options,
                                                snap->tier_.get());
