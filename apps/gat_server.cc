@@ -1,27 +1,39 @@
 // gat_server: the `GATW` wire protocol served from a real socket.
 //
-// Builds a synthetic city (deterministic from --seed), indexes it,
-// and serves ATSQ/OATSQ batches through the full serving stack —
-// FrontDoor admission/deadlines/priorities behind a poll(2) Server on
-// a shared Executor. Prints "LISTENING <port>" on stdout once bound
-// (scripts/wire_smoke.py waits for that line), then runs until stdin
-// reaches EOF — so a parent process ends it by closing the pipe, with
-// no signal races.
+// Builds a synthetic city (deterministic from --seed), stands up the
+// live serving stack over it — a LiveIndex (sharded base + in-memory
+// delta) searched by a LiveSearcher, behind FrontDoor admission /
+// deadlines / priorities and a poll(2) Server on one shared Executor —
+// and serves ATSQ/OATSQ batches and check-in ingest frames. With
+// --merge-interval-ms > 0 a background thread compacts the delta into a
+// new base generation on that cadence (in-memory generations; the same
+// executor runs the per-shard builds). Prints "LISTENING <port>" on
+// stdout once bound (scripts/wire_smoke.py waits for that line), then
+// runs until stdin reaches EOF — so a parent process ends it by closing
+// the pipe, with no signal races.
 //
 // Usage: gat_server [--port N] [--host A.B.C.D] [--trajectories N]
-//                   [--seed N] [--threads N] [--k N]
+//                   [--seed N] [--threads N] [--shards N]
 //                   [--quota-rate R] [--quota-burst B]
+//                   [--ingest-rate R] [--ingest-burst B]
+//                   [--merge-interval-ms N]
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "gat/datagen/checkin_generator.h"
 #include "gat/engine/executor.h"
 #include "gat/engine/query_engine.h"
+#include "gat/live/live_index.h"
+#include "gat/live/live_searcher.h"
 #include "gat/net/server.h"
 #include "gat/search/gat_search.h"
 #include "gat/serve/front_door.h"
@@ -64,23 +76,31 @@ int main(int argc, char** argv) {
   const uint64_t seed = FlagU64(argc, argv, "--seed", 29);
   const auto threads =
       static_cast<uint32_t>(FlagU64(argc, argv, "--threads", 4));
+  const auto shards =
+      static_cast<uint32_t>(FlagU64(argc, argv, "--shards", 2));
+  const uint64_t merge_interval_ms =
+      FlagU64(argc, argv, "--merge-interval-ms", 0);
 
-  std::fprintf(stderr, "building city: %u trajectories, seed %llu\n",
-               trajectories,
-               static_cast<unsigned long long>(seed));
-  const Dataset dataset = GenerateCity(CityProfile::Testing(trajectories,
-                                                            seed));
-  const GatIndex index(dataset);
-  const GatSearcher searcher(dataset, index);
-
+  std::fprintf(stderr, "building city: %u trajectories, seed %llu, %u shards\n",
+               trajectories, static_cast<unsigned long long>(seed), shards);
   Executor executor(threads);
+  ShardOptions shard_options;
+  shard_options.num_shards = shards;
+  shard_options.executor = &executor;
+  LiveIndex live(GenerateCity(CityProfile::Testing(trajectories, seed)),
+                 GatConfig{}, shard_options);
+  const LiveSearcher searcher(live, {}, &executor);
   QueryEngine engine(searcher, EngineOptions{.executor = &executor});
 
   FrontDoorOptions door_options;
   door_options.default_quota =
       TenantQuota{FlagF64(argc, argv, "--quota-rate", 1000.0),
                   FlagF64(argc, argv, "--quota-burst", 100.0)};
+  door_options.default_write_quota =
+      TenantQuota{FlagF64(argc, argv, "--ingest-rate", 10000.0),
+                  FlagF64(argc, argv, "--ingest-burst", 1000.0)};
   FrontDoor door(engine, door_options);
+  door.AttachLiveIndex(&live);
 
   wire::ServerOptions server_options;
   server_options.host = FlagStr(argc, argv, "--host", "127.0.0.1");
@@ -92,6 +112,36 @@ int main(int argc, char** argv) {
                  server_options.host.c_str(), server_options.port);
     return 1;
   }
+
+  // Background merge: compact the delta into the next generation (same
+  // shard count, in-memory) on a fixed cadence. Builds run off the
+  // serving path as tasks on the shared executor; a failed merge only
+  // means the delta keeps serving, so it is logged, not fatal.
+  std::mutex merge_mu;
+  std::condition_variable merge_cv;
+  bool merge_stop = false;
+  std::thread merger;
+  if (merge_interval_ms > 0) {
+    merger = std::thread([&] {
+      std::unique_lock<std::mutex> lock(merge_mu);
+      while (!merge_cv.wait_for(lock,
+                                std::chrono::milliseconds(merge_interval_ms),
+                                [&] { return merge_stop; })) {
+        lock.unlock();
+        if (live.delta_trajectories() == 0) {
+          lock.lock();
+          continue;  // nothing to compact; keep the generation
+        }
+        if (!live.MergeDelta(shards, "", &executor)) {
+          std::fprintf(stderr, "merge refused (generation %llu kept)\n",
+                       static_cast<unsigned long long>(
+                           live.sharded().generation_number()));
+        }
+        lock.lock();
+      }
+    });
+  }
+
   std::printf("LISTENING %u\n", server.port());
   std::fflush(stdout);
 
@@ -101,17 +151,32 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  if (merger.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(merge_mu);
+      merge_stop = true;
+    }
+    merge_cv.notify_one();
+    merger.join();
+  }
   const wire::ServerCounters net = server.counters();
   const FrontDoorCounters front = door.counters();
   std::fprintf(stderr,
-               "served %llu requests over %llu sessions "
+               "served %llu requests + %llu ingests over %llu sessions "
                "(%llu protocol errors); admitted %llu, shed %llu, "
-               "deadline misses %llu\n",
+               "deadline misses %llu; accepted %llu check-ins "
+               "(watermark %llu, %llu merges, generation %llu)\n",
                static_cast<unsigned long long>(net.requests_served),
+               static_cast<unsigned long long>(net.ingests_served),
                static_cast<unsigned long long>(net.sessions_opened),
                static_cast<unsigned long long>(net.protocol_errors),
                static_cast<unsigned long long>(front.admitted),
                static_cast<unsigned long long>(front.shed),
-               static_cast<unsigned long long>(front.deadline_misses));
+               static_cast<unsigned long long>(front.deadline_misses),
+               static_cast<unsigned long long>(front.checkins_accepted),
+               static_cast<unsigned long long>(live.watermark()),
+               static_cast<unsigned long long>(live.merges_completed()),
+               static_cast<unsigned long long>(
+                   live.sharded().generation_number()));
   return 0;
 }

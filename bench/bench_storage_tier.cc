@@ -46,6 +46,7 @@
 #include "gat/index/snapshot.h"
 #include "gat/shard/sharded_index.h"
 #include "gat/shard/sharded_searcher.h"
+#include "gat/storage/loaded_snapshot.h"
 #include "gat/storage/mapped_snapshot.h"
 #include "gat/storage/prefetch.h"
 
@@ -98,17 +99,18 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
   // (pagefaults vs explicit positioned I/O), never how many the
   // algorithm performs.
   {
-    const auto snap = MappedSnapshot::Load(snapshot_path);
+    const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(snapshot_path);
     MappedSnapshotOptions async_options;
     async_options.io_mode = SnapshotIoMode::kAsync;
-    const auto async_snap = MappedSnapshot::Load(snapshot_path, async_options);
-    if (snap == nullptr || async_snap == nullptr) {
+    const LoadedSnapshot async_snap =
+        LoadedSnapshot::LoadMapped(snapshot_path, async_options);
+    if (!snap || !async_snap) {
       std::fprintf(stderr, "FATAL: cannot mmap/async-load %s\n",
                    snapshot_path.c_str());
       std::exit(1);
     }
-    const GatSearcher mapped(city, snap->index());
-    const GatSearcher async_mapped(city, async_snap->index());
+    const GatSearcher mapped(city, *snap);
+    const GatSearcher async_mapped(city, *async_snap);
     for (size_t i = 0; i < queries.size(); ++i) {
       SearchStats sim_stats, map_stats, async_stats;
       const ResultList want = simulated.Search(queries[i], kTopK, kKind,
@@ -131,7 +133,7 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
         std::fprintf(stderr,
                      "FATAL: async tier (%s) diverged at query %zu "
                      "(results %s, disk_reads %llu vs %llu)\n",
-                     async_snap->async_tier()->backend_name(), i,
+                     async_snap.mapped()->async_tier()->backend_name(), i,
                      want == async_got ? "equal" : "DIFFER",
                      static_cast<unsigned long long>(sim_stats.disk_reads),
                      static_cast<unsigned long long>(async_stats.disk_reads));
@@ -140,7 +142,7 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
     }
     std::printf("equivalence: %zu queries bit-identical, disk_reads equal "
                 "across simulated / mmap / async (%s)\n",
-                queries.size(), async_snap->async_tier()->backend_name());
+                queries.size(), async_snap.mapped()->async_tier()->backend_name());
   }
 
   // --------------------------------------------------------- cache sweep
@@ -160,13 +162,15 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
     options.cache_config.shards = 4;
     options.cache_config.capacity_bytes =
         std::max<uint64_t>(file_bytes / point.divisor, 4 * 1024);
-    const auto snap = MappedSnapshot::Load(snapshot_path, options);
-    if (snap == nullptr) {
+    const LoadedSnapshot snap =
+        LoadedSnapshot::LoadMapped(snapshot_path, options);
+    if (!snap) {
       std::fprintf(stderr, "FATAL: mmap-load failed in sweep\n");
       std::exit(1);
     }
-    const GatSearcher mapped(city, snap->index());
-    const PrefetchScheduler prefetcher({&snap->index()}, &snap->cache());
+    const GatSearcher mapped(city, *snap);
+    const PrefetchScheduler prefetcher({snap.index()},
+                                       &snap.mapped()->cache());
     const Measurement m = MeasureWorkload(mapped, queries, kTopK, kKind,
                                           proto, &prefetcher);
     char name[128];
@@ -239,33 +243,34 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
         options.cache_config.admission = CacheAdmission::kScanResistant;
       }
       if (point.async) options.io_mode = SnapshotIoMode::kAsync;
-      const auto snap = MappedSnapshot::Load(snapshot_path, options);
-      if (snap == nullptr) {
+      const LoadedSnapshot snap =
+          LoadedSnapshot::LoadMapped(snapshot_path, options);
+      if (!snap) {
         std::fprintf(stderr, "FATAL: load failed at %s\n", point.label);
         std::exit(1);
       }
-      const GatSearcher mapped(city, snap->index());
-      PrefetchScheduler prefetcher({&snap->index()}, &snap->cache());
+      const GatSearcher mapped(city, *snap);
+      PrefetchScheduler prefetcher({snap.index()}, &snap.mapped()->cache());
       if (point.feedback) {
         prefetcher.ConfigureFeedback({.enabled = true});
       }
       std::unique_ptr<IoStager> stager;
       if (point.staged) {
-        stager = std::make_unique<IoStager>(&snap->index(),
-                                            snap->async_tier());
+        stager = std::make_unique<IoStager>(snap.index(),
+                                            snap.mapped()->async_tier());
       }
       Measurement m = MeasureWorkload(mapped, queries, kTopK, kKind, proto,
                                       point.staged ? nullptr : &prefetcher,
                                       stager.get());
       m.has_io = true;
       m.io_backend =
-          point.async ? snap->async_tier()->backend_name() : "mmap";
+          point.async ? snap.mapped()->async_tier()->backend_name() : "mmap";
       if (point.async) {
-        const AsyncTierStats tier_stats = snap->async_tier()->stats();
+        const AsyncTierStats tier_stats = snap.mapped()->async_tier()->stats();
         m.worker_stalls = tier_stats.worker_stalls;
         // Every stalled block was a demand miss; the cumulative cache
         // misses bound the cumulative stall count.
-        if (tier_stats.stalled_blocks > snap->cache().Snapshot().misses) {
+        if (tier_stats.stalled_blocks > snap.mapped()->cache().Snapshot().misses) {
           std::fprintf(stderr,
                        "FATAL: %s stalled on %llu blocks but only %llu "
                        "demand misses happened\n",
@@ -273,7 +278,7 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
                        static_cast<unsigned long long>(
                            tier_stats.stalled_blocks),
                        static_cast<unsigned long long>(
-                           snap->cache().Snapshot().misses));
+                           snap.mapped()->cache().Snapshot().misses));
           std::exit(1);
         }
       }
@@ -367,9 +372,9 @@ void Main(const BenchProtocol& proto, BenchReport& report) {
     const auto streamed = LoadSnapshot(snapshot_path, nullptr, fingerprint);
     const double stream_ms = stream_timer.ElapsedMillis();
     Stopwatch map_timer;
-    const auto snap = MappedSnapshot::Load(snapshot_path);
+    const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(snapshot_path);
     const double map_ms = map_timer.ElapsedMillis();
-    if (streamed == nullptr || snap == nullptr) {
+    if (streamed == nullptr || !snap) {
       std::fprintf(stderr, "FATAL: startup loads failed\n");
       std::exit(1);
     }

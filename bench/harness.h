@@ -306,6 +306,18 @@ struct Measurement {
   bool has_admission = false;
   uint64_t admission_rejects = 0;
   uint64_t ghost_hits = 0;
+  /// Live-ingestion observability (bench_ingest): the delta/base state
+  /// behind the measured point. At quiesced points (ingest paused at a
+  /// fixed watermark) `ingested_checkins`, `delta_trajectories`,
+  /// `merges_completed` and `generation` are exact and bench_diff.py
+  /// gates them; `freshness_lag_ms` (ingest-ack to first queryable
+  /// result) is wall-clock — advisory. Set by the bench.
+  bool has_ingest = false;
+  uint64_t ingested_checkins = 0;
+  uint64_t delta_trajectories = 0;
+  uint64_t merges_completed = 0;
+  uint64_t generation = 0;
+  double freshness_lag_ms = 0.0;
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of an ascending-sorted sample.
@@ -475,6 +487,12 @@ class BenchReport {
     rec.has_admission = m.has_admission;
     rec.admission_rejects = m.admission_rejects;
     rec.ghost_hits = m.ghost_hits;
+    rec.has_ingest = m.has_ingest;
+    rec.ingested_checkins = m.ingested_checkins;
+    rec.delta_trajectories = m.delta_trajectories;
+    rec.merges_completed = m.merges_completed;
+    rec.generation = m.generation;
+    rec.freshness_lag_ms = m.freshness_lag_ms;
     records_.push_back(std::move(rec));
   }
 
@@ -593,6 +611,22 @@ class BenchReport {
                      static_cast<unsigned long long>(r.admission_rejects),
                      static_cast<unsigned long long>(r.ghost_hits));
       }
+      if (r.has_ingest) {
+        // Delta/base state behind the point. The counters are exact at
+        // quiesced points (ingest paused at a fixed watermark —
+        // bench_diff.py gates them); `freshness_lag_ms` is wall-clock,
+        // advisory always.
+        std::fprintf(f,
+                     ", \"ingested_checkins\": %llu, "
+                     "\"delta_trajectories\": %llu, "
+                     "\"merges_completed\": %llu, \"generation\": %llu, "
+                     "\"freshness_lag_ms\": %.6f",
+                     static_cast<unsigned long long>(r.ingested_checkins),
+                     static_cast<unsigned long long>(r.delta_trajectories),
+                     static_cast<unsigned long long>(r.merges_completed),
+                     static_cast<unsigned long long>(r.generation),
+                     r.freshness_lag_ms);
+      }
       if (r.has_cache) {
         // Block-cache fields (mmap disk tier): `blocks_read` is the
         // demand misses of the last timed batch — deterministic at
@@ -653,6 +687,12 @@ class BenchReport {
     bool has_admission = false;  // admission fields below are meaningful
     uint64_t admission_rejects = 0;
     uint64_t ghost_hits = 0;
+    bool has_ingest = false;   // ingest fields below are meaningful
+    uint64_t ingested_checkins = 0;
+    uint64_t delta_trajectories = 0;
+    uint64_t merges_completed = 0;
+    uint64_t generation = 0;
+    double freshness_lag_ms = 0.0;
   };
 
   static std::string Escaped(const std::string& s) {

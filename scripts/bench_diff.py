@@ -52,6 +52,12 @@ Implements the comparison rules of docs/BENCH_PROTOCOL.md:
   * Warns when ``ns_per_op`` regresses beyond the protocol's noise gate
     (3 x max(rsd_old, rsd_new) percent) — advisory only, since
     wall-clock throughput is the noisiest signal.
+  * Live-ingestion fields (bench_ingest): ``ingested_checkins``,
+    ``delta_trajectories``, ``merges_completed`` and ``generation`` are
+    snapshots taken at quiesced points (ingest paused at a fixed
+    watermark), so they are gated exactly like the work counters at any
+    thread count. ``freshness_lag_ms`` is ingest-ack-to-queryable wall
+    clock — advisory (>50% swell warns).
   * Open-loop serving runs (bench_serving): ``protocol.arrival_rate``
     and ``protocol.virtual_time`` are workload-defining — a mismatch is
     refused like a scale mismatch (comparing shed counts across offered
@@ -99,6 +105,12 @@ ADVISORY_RELOAD_FIELDS = ("shard_reloads", "invalidated_blocks")
 # virtual-time (the simulated schedule fully determines them), advisory
 # otherwise.
 SERVING_COUNTER_FIELDS = ("admitted", "shed_count", "deadline_misses")
+# Live-ingestion state counters (bench_ingest): recorded at quiesced
+# points (ingest paused at a fixed watermark), so exact — any drift
+# means the delta/merge machinery changed behavior. The wall-clock
+# `freshness_lag_ms` companion field is advisory and handled separately.
+INGEST_COUNTER_FIELDS = ("ingested_checkins", "delta_trajectories",
+                         "merges_completed", "generation")
 # Workload-defining protocol fields: a mismatch makes the diff meaningless.
 # arrival_rate / virtual_time are the open-loop extension: offered load and
 # the clock the load runs on both define the experiment (absent = 0 / false
@@ -345,6 +357,30 @@ def main():
                     warnings.append(message + " (advisory: wall-clock "
                                     "serving counters are load-timing "
                                     "dependent)")
+
+        # Ingest-state counters: quiesced-point snapshots, exact by
+        # construction — the bench pauses ingest at a fixed watermark
+        # before recording, so any drift is a delta/merge behavior
+        # change, not scheduling.
+        for field in INGEST_COUNTER_FIELDS:
+            if field not in o or field not in n:
+                continue
+            if o[field] != n[field]:
+                message = (f"{name}: {field} {o[field]} -> {n[field]} "
+                           "(quiesced ingest counter drift = behavioral "
+                           "change)")
+                (warnings if args.allow_counter_drift else failures).append(
+                    message)
+
+        # Freshness lag is ingest-ack-to-queryable wall clock — never
+        # gated, but a large swell deserves a look.
+        if o.get("freshness_lag_ms", 0) > 0 and "freshness_lag_ms" in n:
+            pct = 100.0 * (n["freshness_lag_ms"] / o["freshness_lag_ms"] - 1.0)
+            if pct > 50.0:
+                warnings.append(f"{name}: freshness_lag_ms {pct:+.1f}% "
+                                f"({o['freshness_lag_ms']:.3f} -> "
+                                f"{n['freshness_lag_ms']:.3f} ms) — advisory, "
+                                "wall-clock")
 
         if "goodput_qps" in o and "goodput_qps" in n and o["goodput_qps"] > 0:
             pct = 100.0 * (n["goodput_qps"] / o["goodput_qps"] - 1.0)

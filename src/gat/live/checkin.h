@@ -1,0 +1,27 @@
+#ifndef GAT_LIVE_CHECKIN_H_
+#define GAT_LIVE_CHECKIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gat/common/types.h"
+#include "gat/geo/point.h"
+
+namespace gat {
+
+/// One live check-in: user `user` was at `location` doing `activities`
+/// (IDs in the serving dataset's frequency-ranked frame). The unit of
+/// the ingest API — check-ins from one user accumulate, in arrival
+/// order, into that user's delta trajectory until a merge seals the
+/// segment into the base dataset (Definition 2's chronological order is
+/// the arrival order; there is no explicit timestamp field, matching
+/// the rest of the reproduction).
+struct CheckIn {
+  uint64_t user = 0;
+  Point location;
+  std::vector<ActivityId> activities;  // any order; normalized on accept
+};
+
+}  // namespace gat
+
+#endif  // GAT_LIVE_CHECKIN_H_

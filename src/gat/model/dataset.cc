@@ -103,6 +103,7 @@ std::vector<Dataset> Dataset::PartitionRoundRobin(uint32_t num_shards) const {
     shard.vocabulary_ = vocabulary_;
     shard.bounding_box_ = bounding_box_;
     shard.activity_frequencies_ = activity_frequencies_;
+    shard.generation_ = generation_;
   }
   for (TrajectoryId t = 0; t < trajectories_.size(); ++t) {
     shards[t % num_shards].trajectories_.push_back(trajectories_[t]);  // copy
@@ -111,6 +112,32 @@ std::vector<Dataset> Dataset::PartitionRoundRobin(uint32_t num_shards) const {
   // running Finalize() would re-rank per shard, so freeze directly.
   for (auto& shard : shards) shard.finalized_ = true;
   return shards;
+}
+
+Dataset Dataset::ExtendWith(const std::vector<Trajectory>& extra) const {
+  GAT_CHECK(finalized_);
+  Dataset out;
+  out.vocabulary_ = vocabulary_;
+  out.bounding_box_ = bounding_box_;
+  out.activity_frequencies_ = activity_frequencies_;
+  out.generation_ = generation_ + 1;
+  out.trajectories_ = trajectories_;  // copy; IDs 0..size()-1 unchanged
+  const uint32_t frame_limit = activity_frame_limit();
+  for (const Trajectory& tr : extra) {
+    Trajectory copy = tr;
+    copy.NormalizeActivities();
+    for (const auto& p : copy.points()) {
+      // The frame is inherited, not recomputed, so the appended data
+      // must fit it: IDs inside the ranked space, points inside the
+      // parent box (grids stay geometrically identical to the parent's).
+      GAT_CHECK(bounding_box_.Contains(p.location));
+      for (ActivityId a : p.activities) GAT_CHECK(a < frame_limit);
+    }
+    out.trajectories_.push_back(std::move(copy));
+  }
+  // Same freeze as PartitionRoundRobin: Finalize() would re-rank.
+  out.finalized_ = true;
+  return out;
 }
 
 }  // namespace gat

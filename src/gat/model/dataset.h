@@ -1,6 +1,8 @@
 #ifndef GAT_MODEL_DATASET_H_
 #define GAT_MODEL_DATASET_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "gat/common/types.h"
@@ -63,6 +65,22 @@ class Dataset {
     return static_cast<uint32_t>(activity_frequencies_.size());
   }
 
+  /// Size of the activity-ID frame: the smallest bound such that every
+  /// ID the dataset can speak is below it (interned-but-unused
+  /// vocabulary entries included). Trajectories appended through
+  /// `ExtendWith` must stay inside this frame.
+  uint32_t activity_frame_limit() const {
+    return static_cast<uint32_t>(std::max<size_t>(
+        vocabulary_.size(), activity_frequencies_.size()));
+  }
+
+  /// The dataset generation this cut belongs to: 0 for a freshly
+  /// finalized dataset, bumped by `ExtendWith`. Carried (not derived)
+  /// metadata — the live-ingestion layer uses it to pair a delta with
+  /// the base generation it complements.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t generation) { generation_ = generation; }
+
   /// Builds a new dataset from a subset of this one's trajectories
   /// (used by the Figure-7 scalability experiment, which samples the NY
   /// dataset down to 10K..50K trajectories). The subset shares no state
@@ -90,11 +108,32 @@ class Dataset {
   /// contributes zero candidates from them.
   std::vector<Dataset> PartitionRoundRobin(uint32_t num_shards) const;
 
+  /// Frame-preserving append: a finalized copy of this dataset with
+  /// `extra` trajectories added at IDs size()..size()+extra.size()-1,
+  /// at generation() + 1. This is the compaction step of live
+  /// ingestion: the delta trajectories become ordinary base
+  /// trajectories of the next dataset generation.
+  ///
+  /// Unlike Add + Finalize, the parent's frame of reference is kept
+  /// verbatim — activity IDs are NOT re-ranked, the vocabulary,
+  /// frequency table and bounding box are inherited unchanged — so
+  /// indexes built over the extension are directly comparable (and
+  /// per-shard grids geometrically identical) to indexes over the
+  /// parent, exactly like `PartitionRoundRobin` slices.
+  ///
+  /// Each extra trajectory must already speak the parent frame: every
+  /// activity ID below `activity_frame_limit()` and every point inside
+  /// `bounding_box()` (the live ingest path validates both before a
+  /// check-in is accepted; violating them here is a caller bug and
+  /// aborts).
+  Dataset ExtendWith(const std::vector<Trajectory>& extra) const;
+
  private:
   std::vector<Trajectory> trajectories_;
   ActivityVocabulary vocabulary_;
   Rect bounding_box_ = Rect::Empty();
   std::vector<uint64_t> activity_frequencies_;
+  uint64_t generation_ = 0;
   bool finalized_ = false;
 };
 

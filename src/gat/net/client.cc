@@ -94,6 +94,35 @@ bool Client::ReadResponse(ServeResult* result) {
   return true;
 }
 
+bool Client::CallIngest(const IngestRequest& request, IngestResult* result) {
+  if (fd_ < 0) return false;
+  if (!SendRaw(EncodeIngestFrame(request))) return false;
+  return ReadIngestAck(result);
+}
+
+bool Client::ReadIngestAck(IngestResult* result) {
+  if (fd_ < 0) return false;
+  char header_bytes[kHeaderBytes];
+  FrameHeader header;
+  if (!ReadExact(header_bytes, sizeof(header_bytes)) ||
+      !ParseFrameHeader(header_bytes, sizeof(header_bytes), &header) ||
+      header.type != FrameType::kIngestAck) {
+    Close();
+    return false;
+  }
+  std::vector<char> payload(header.payload_bytes);
+  if (!ReadExact(payload.data(), payload.size())) {
+    Close();
+    return false;
+  }
+  const std::string_view view(payload.data(), payload.size());
+  if (!VerifyPayload(header, view) || !DecodeIngestAckPayload(view, result)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
 bool Client::AwaitCleanClose() {
   if (fd_ < 0) return false;
   char byte = 0;

@@ -42,6 +42,16 @@ class Client {
   /// strictly in request order — the pipelining half of Call.
   bool ReadResponse(ServeResult* result);
 
+  /// Sends a check-in batch and blocks for its kIngestAck. Same error
+  /// contract as Call. The ack itself carries the outcome (`result`):
+  /// a shed or invalid batch is a successful call with a non-ok
+  /// status, not a transport error.
+  bool CallIngest(const IngestRequest& request, IngestResult* result);
+
+  /// Blocks for one ingest ack without sending — the pipelining half
+  /// of CallIngest.
+  bool ReadIngestAck(IngestResult* result);
+
   /// Sends arbitrary bytes as-is. For protocol tests.
   bool SendRaw(const std::string& bytes);
 

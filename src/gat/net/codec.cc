@@ -277,6 +277,115 @@ bool DecodeResultPayload(std::string_view payload, ServeResult* out) {
   return true;
 }
 
+std::string EncodeIngestPayload(const IngestRequest& request) {
+  GAT_CHECK(!request.checkins.empty());
+  GAT_CHECK(request.checkins.size() <= kMaxCheckInsPerIngest);
+  Writer w;
+  w.U32(request.tenant);
+  w.U32(static_cast<uint32_t>(request.checkins.size()));
+  for (const CheckIn& c : request.checkins) {
+    GAT_CHECK(std::isfinite(c.location.x) && std::isfinite(c.location.y));
+    GAT_CHECK(c.activities.size() <= kMaxActivitiesPerPoint);
+    w.U64(c.user);
+    w.F64(c.location.x);
+    w.F64(c.location.y);
+    w.U32(static_cast<uint32_t>(c.activities.size()));
+    for (size_t i = 0; i < c.activities.size(); ++i) {
+      GAT_CHECK(i == 0 || c.activities[i] > c.activities[i - 1]);
+      w.U32(c.activities[i]);
+    }
+  }
+  return w.Take();
+}
+
+bool DecodeIngestPayload(std::string_view payload, IngestRequest* out) {
+  Reader r(payload);
+  IngestRequest request;
+  uint32_t num_checkins = 0;
+  if (!r.U32(&request.tenant)) return false;
+  if (!r.U32(&num_checkins)) return false;
+  // An ingest with nothing to apply is a protocol violation, same rule
+  // as an empty query batch.
+  if (num_checkins == 0 || num_checkins > kMaxCheckInsPerIngest) return false;
+  request.checkins.reserve(num_checkins);
+  for (uint32_t i = 0; i < num_checkins; ++i) {
+    CheckIn c;
+    if (!r.U64(&c.user)) return false;
+    if (!r.F64(&c.location.x)) return false;
+    if (!r.F64(&c.location.y)) return false;
+    if (!std::isfinite(c.location.x) || !std::isfinite(c.location.y)) {
+      return false;
+    }
+    uint32_t num_activities = 0;
+    if (!r.U32(&num_activities)) return false;
+    if (num_activities > kMaxActivitiesPerPoint) return false;
+    c.activities.reserve(num_activities);
+    for (uint32_t a = 0; a < num_activities; ++a) {
+      uint32_t activity = 0;
+      if (!r.U32(&activity)) return false;
+      // Strictly ascending: sorted + deduplicated, so the LiveIndex's
+      // normalization is the identity and decode→encode is byte-exact.
+      if (!c.activities.empty() && activity <= c.activities.back()) {
+        return false;
+      }
+      c.activities.push_back(activity);
+    }
+    request.checkins.push_back(std::move(c));
+  }
+  if (!r.AtEnd()) return false;
+  *out = std::move(request);
+  return true;
+}
+
+std::string EncodeIngestAckPayload(const IngestResult& result) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(result.status));
+  w.U32(static_cast<uint32_t>(result.shed_reason));
+  w.U32(result.shed_tenant);
+  w.U64(result.accepted);
+  w.U64(result.watermark);
+  return w.Take();
+}
+
+bool DecodeIngestAckPayload(std::string_view payload, IngestResult* out) {
+  Reader r(payload);
+  IngestResult result;
+  uint32_t status = 0;
+  uint32_t shed_reason = 0;
+  if (!r.U32(&status)) return false;
+  if (status > static_cast<uint32_t>(IngestStatus::kUnavailable)) return false;
+  result.status = static_cast<IngestStatus>(status);
+  if (!r.U32(&shed_reason)) return false;
+  if (shed_reason > static_cast<uint32_t>(ShedReason::kWriteRateLimit)) {
+    return false;
+  }
+  result.shed_reason = static_cast<ShedReason>(shed_reason);
+  if (!r.U32(&result.shed_tenant)) return false;
+  if (!r.U64(&result.accepted)) return false;
+  if (!r.U64(&result.watermark)) return false;
+  if (!r.AtEnd()) return false;
+  // Cross-field discipline: exactly the states FrontDoor::Ingest
+  // produces. The write path has one shed policy, so a shed ack names
+  // it and nothing else; any non-ok ack applied nothing.
+  if (result.status == IngestStatus::kShed) {
+    if (result.shed_reason != ShedReason::kWriteRateLimit) return false;
+  } else {
+    if (result.shed_reason != ShedReason::kNone) return false;
+    if (result.shed_tenant != 0) return false;
+  }
+  if (result.status == IngestStatus::kOk) {
+    // A wire ingest carries at least one check-in, so an ok ack
+    // accepted at least one and the cumulative watermark covers them.
+    if (result.accepted == 0 || result.watermark < result.accepted) {
+      return false;
+    }
+  } else {
+    if (result.accepted != 0 || result.watermark != 0) return false;
+  }
+  *out = result;
+  return true;
+}
+
 std::string BuildFrame(FrameType type, std::string_view payload) {
   GAT_CHECK(payload.size() <= kMaxPayloadBytes);
   Writer w;
@@ -300,6 +409,14 @@ std::string EncodeResultFrame(const ServeResult& result) {
   return BuildFrame(FrameType::kServeResponse, EncodeResultPayload(result));
 }
 
+std::string EncodeIngestFrame(const IngestRequest& request) {
+  return BuildFrame(FrameType::kIngest, EncodeIngestPayload(request));
+}
+
+std::string EncodeIngestAckFrame(const IngestResult& result) {
+  return BuildFrame(FrameType::kIngestAck, EncodeIngestAckPayload(result));
+}
+
 bool ParseFrameHeader(const char* data, size_t size, FrameHeader* out) {
   GAT_CHECK(size >= kHeaderBytes);
   if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) return false;
@@ -312,7 +429,9 @@ bool ParseFrameHeader(const char* data, size_t size, FrameHeader* out) {
   std::memcpy(&header.payload_crc32, data + 16, sizeof(header.payload_crc32));
   if (version != kVersion) return false;
   if (type != static_cast<uint32_t>(FrameType::kServeRequest) &&
-      type != static_cast<uint32_t>(FrameType::kServeResponse)) {
+      type != static_cast<uint32_t>(FrameType::kServeResponse) &&
+      type != static_cast<uint32_t>(FrameType::kIngest) &&
+      type != static_cast<uint32_t>(FrameType::kIngestAck)) {
     return false;
   }
   header.type = static_cast<FrameType>(type);

@@ -32,12 +32,23 @@ bool DecodeRequestPayload(std::string_view payload, ServeRequest* out);
 std::string EncodeResultPayload(const ServeResult& result);
 bool DecodeResultPayload(std::string_view payload, ServeResult* out);
 
+/// Write path: a tenant's check-in batch (kIngest) and its outcome
+/// (kIngestAck). Same dialect, same discipline — per-point activity
+/// lists strictly ascending, coordinates finite, the ack's cross-field
+/// rules exactly the states `FrontDoor::Ingest` produces.
+std::string EncodeIngestPayload(const IngestRequest& request);
+bool DecodeIngestPayload(std::string_view payload, IngestRequest* out);
+std::string EncodeIngestAckPayload(const IngestResult& result);
+bool DecodeIngestAckPayload(std::string_view payload, IngestResult* out);
+
 /// Wraps `payload` in a `GATW` frame header (type, length, CRC).
 std::string BuildFrame(FrameType type, std::string_view payload);
 
 /// Complete frames: BuildFrame over the payload encoders.
 std::string EncodeRequestFrame(const ServeRequest& request);
 std::string EncodeResultFrame(const ServeResult& result);
+std::string EncodeIngestFrame(const IngestRequest& request);
+std::string EncodeIngestAckFrame(const IngestResult& result);
 
 /// Parses and validates a frame header from `data` (which must hold at
 /// least kHeaderBytes). False = bad magic, wrong version, unknown

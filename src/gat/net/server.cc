@@ -95,6 +95,7 @@ ServerCounters Server::counters() const {
   out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
   out.requests_served = requests_served_.load(std::memory_order_relaxed);
+  out.ingests_served = ingests_served_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   return out;
 }
@@ -120,12 +121,12 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
     conn->input_closed = true;
     break;
   }
-  ServeRequest request;
+  InboundFrame inbound;
   for (;;) {
-    const Session::Event event = conn->session.Next(&request);
+    const Session::Event event = conn->session.Next(&inbound);
     if (event == Session::Event::kRequest) {
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->pending.push_back(std::move(request));
+      conn->pending.push_back(std::move(inbound));
       continue;
     }
     if (event == Session::Event::kClosed) {
@@ -150,16 +151,30 @@ void Server::PumpConnection(std::shared_ptr<Connection> conn) {
     conn->pumping = true;
   }
   for (;;) {
-    ServeRequest request;
+    InboundFrame inbound;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->busy || conn->pending.empty()) {
         conn->pumping = false;
         return;
       }
-      request = std::move(conn->pending.front());
+      inbound = std::move(conn->pending.front());
       conn->pending.pop_front();
     }
+
+    // Ingest frames are answered inline by whichever thread pumps the
+    // queue: the whole write path is admission + a validated delta
+    // append — no engine work to schedule — and answering in place
+    // keeps this connection's acks and responses in arrival order.
+    if (inbound.kind == InboundFrame::Kind::kIngest) {
+      std::string ack = IngestFrame(door_, inbound.ingest);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->outbox += ack;
+      ingests_served_.fetch_add(1, std::memory_order_relaxed);
+      Wake();
+      continue;
+    }
+    ServeRequest& request = inbound.request;
 
     // Zero-engine-work path first: shed and already-expired requests
     // are answered right here, with no executor task ever existing.

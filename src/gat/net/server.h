@@ -36,6 +36,9 @@ struct ServerCounters {
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
   uint64_t requests_served = 0;
+  /// kIngest frames answered (always on the pumping thread — ingestion
+  /// is a delta append, never an executor task).
+  uint64_t ingests_served = 0;
   /// Sessions that hit malformed input and were closed cleanly.
   uint64_t protocol_errors = 0;
 };
@@ -87,7 +90,7 @@ class Server {
     Session session;
     /// Everything below is shared with request tasks.
     std::mutex mu;
-    std::deque<ServeRequest> pending;
+    std::deque<InboundFrame> pending;
     std::string outbox;
     bool busy = false;     // one engine task in flight
     bool pumping = false;  // one thread draining `pending`
@@ -125,6 +128,7 @@ class Server {
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_closed_{0};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> ingests_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
 };
 

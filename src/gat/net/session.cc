@@ -15,7 +15,7 @@ void Session::Append(const char* data, size_t size) {
   buffer_.append(data, size);
 }
 
-Session::Event Session::Next(ServeRequest* out) {
+Session::Event Session::Next(InboundFrame* out) {
   if (closed_) return Event::kClosed;
   const size_t available = buffer_.size() - consumed_;
   if (available < kHeaderBytes) return Event::kNeedMore;
@@ -25,9 +25,10 @@ Session::Event Session::Next(ServeRequest* out) {
     closed_ = true;
     return Event::kClosed;
   }
-  // A server session speaks one direction: responses arriving here
-  // mean a confused (or hostile) peer.
-  if (header.type != FrameType::kServeRequest) {
+  // A server session speaks one direction: responses or acks arriving
+  // here mean a confused (or hostile) peer.
+  if (header.type != FrameType::kServeRequest &&
+      header.type != FrameType::kIngest) {
     closed_ = true;
     return Event::kClosed;
   }
@@ -39,14 +40,23 @@ Session::Event Session::Next(ServeRequest* out) {
     closed_ = true;
     return Event::kClosed;
   }
-  ServeRequest request;
-  if (!DecodeRequestPayload(payload, &request)) {
-    closed_ = true;
-    return Event::kClosed;
+  InboundFrame decoded;
+  if (header.type == FrameType::kServeRequest) {
+    decoded.kind = InboundFrame::Kind::kRequest;
+    if (!DecodeRequestPayload(payload, &decoded.request)) {
+      closed_ = true;
+      return Event::kClosed;
+    }
+  } else {
+    decoded.kind = InboundFrame::Kind::kIngest;
+    if (!DecodeIngestPayload(payload, &decoded.ingest)) {
+      closed_ = true;
+      return Event::kClosed;
+    }
   }
   consumed_ += kHeaderBytes + header.payload_bytes;
   ++frames_decoded_;
-  *out = std::move(request);
+  *out = std::move(decoded);
   return Event::kRequest;
 }
 
@@ -82,6 +92,10 @@ std::string ServeFrame(FrontDoor& door, const ServeRequest& request) {
     return frame;
   }
   return ServeAdmittedFrame(door, request);
+}
+
+std::string IngestFrame(FrontDoor& door, const IngestRequest& request) {
+  return EncodeIngestAckFrame(door.Ingest(request));
 }
 
 }  // namespace gat::wire

@@ -27,20 +27,36 @@ namespace gat::wire {
 ///
 /// Thread-safety: none. One session belongs to one connection and is
 /// driven by one thread at a time (the server's poll thread).
+/// One decoded inbound frame: a query request or an ingest batch. The
+/// session's `Next` fills exactly the member `kind` names; the other
+/// stays default-constructed.
+struct InboundFrame {
+  enum class Kind : uint8_t {
+    kRequest = 0,  // `request` holds a decoded ServeRequest
+    kIngest = 1,   // `ingest` holds a decoded IngestRequest
+  };
+  Kind kind = Kind::kRequest;
+  ServeRequest request;
+  IngestRequest ingest;
+};
+
 class Session {
  public:
   enum class Event : uint8_t {
     kNeedMore = 0,  // no complete frame buffered; feed more bytes
-    kRequest = 1,   // *out holds the next decoded request
+    kRequest = 1,   // *out holds the next decoded inbound frame
     kClosed = 2,    // protocol violation; the connection must close
   };
 
   /// Feeds transport bytes. No-op once closed.
   void Append(const char* data, size_t size);
 
-  /// Consumes the next complete frame. Call in a loop after every
-  /// Append until it stops returning kRequest.
-  Event Next(ServeRequest* out);
+  /// Consumes the next complete frame — a query request (kServeRequest)
+  /// or a write batch (kIngest); both directions of inbound traffic
+  /// interleave freely on one connection and come out strictly in
+  /// arrival order. Call in a loop after every Append until it stops
+  /// returning kRequest.
+  Event Next(InboundFrame* out);
 
   bool closed() const { return closed_; }
 
@@ -81,6 +97,13 @@ std::string ServeAdmittedFrame(FrontDoor& door, const ServeRequest& request);
 /// Convenience for inline serving (tests, single-threaded servers):
 /// full admission + execution + encode.
 std::string ServeFrame(FrontDoor& door, const ServeRequest& request);
+
+/// The write path's whole dispatch: admission + application + encoded
+/// kIngestAck. Always inline — ingestion is a validated append into
+/// the delta, never engine work, so there is no fast/slow split and no
+/// executor task (the server handles kIngest frames on the poll
+/// thread, preserving per-connection FIFO with queries).
+std::string IngestFrame(FrontDoor& door, const IngestRequest& request);
 
 }  // namespace gat::wire
 

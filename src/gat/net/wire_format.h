@@ -34,10 +34,15 @@ namespace gat::wire {
 inline constexpr char kMagic[4] = {'G', 'A', 'T', 'W'};
 inline constexpr uint32_t kVersion = 1;
 
-/// Frame types. Wire-stable: add at the end, never renumber.
+/// Frame types. Wire-stable: add at the end, never renumber. (Enum
+/// growth is NOT a version bump — old peers reject unknown types and
+/// close, which is the compatible failure mode; the version changes
+/// only when the layout of an existing frame changes.)
 enum class FrameType : uint32_t {
   kServeRequest = 1,
   kServeResponse = 2,
+  kIngest = 3,     // a tenant's check-in batch (write path)
+  kIngestAck = 4,  // the ingest outcome: status, accepted, watermark
 };
 
 /// magic + version + frame type + payload length + payload CRC32.
@@ -56,6 +61,7 @@ inline constexpr uint32_t kMaxPointsPerQuery = 1u << 12;
 inline constexpr uint32_t kMaxActivitiesPerPoint = 1u << 12;
 inline constexpr uint32_t kMaxTopK = 1u << 20;
 inline constexpr uint32_t kMaxResultsPerQuery = 1u << 20;
+inline constexpr uint32_t kMaxCheckInsPerIngest = 1u << 16;
 
 /// The parsed fixed-size frame header. `payload_crc32` is
 /// `snapshot_format::Crc32` over the payload bytes.

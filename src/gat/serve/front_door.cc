@@ -1,6 +1,9 @@
 #include "gat/serve/front_door.h"
 
+#include <algorithm>
+
 #include "gat/common/check.h"
+#include "gat/live/live_index.h"
 
 namespace gat {
 
@@ -21,6 +24,21 @@ TokenBucket& FrontDoor::BucketForLocked(uint32_t tenant) {
     }
   }
   return buckets_
+      .emplace(tenant, TokenBucket(quota.tokens_per_sec, quota.burst))
+      .first->second;
+}
+
+TokenBucket& FrontDoor::WriteBucketForLocked(uint32_t tenant) {
+  auto it = write_buckets_.find(tenant);
+  if (it != write_buckets_.end()) return it->second;
+  TenantQuota quota = options_.default_write_quota;
+  for (const auto& entry : options_.tenant_write_quotas) {
+    if (entry.first == tenant) {
+      quota = entry.second;
+      break;
+    }
+  }
+  return write_buckets_
       .emplace(tenant, TokenBucket(quota.tokens_per_sec, quota.burst))
       .first->second;
 }
@@ -83,6 +101,47 @@ ServeResult FrontDoor::Serve(const ServeRequest& request) {
     return out;
   }
   return ServeAdmitted(request);
+}
+
+IngestResult FrontDoor::Ingest(const IngestRequest& request) {
+  IngestResult out;
+  // Write admission first, shed-is-free: a refused batch touches no
+  // index structure, takes no writer lock, copies nothing. The bucket
+  // charge is the batch size — per-check-in cost, so one huge batch
+  // cannot launder past a rate meant for check-ins.
+  const double cost = std::max<double>(1.0, request.checkins.size());
+  const uint64_t now = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!WriteBucketForLocked(request.tenant).TryAcquire(now, cost)) {
+      ++counters_.ingest_shed;
+      out.status = IngestStatus::kShed;
+      out.shed_reason = ShedReason::kWriteRateLimit;
+      out.shed_tenant = request.tenant;
+      return out;
+    }
+    ++counters_.ingest_admitted;
+  }
+
+  if (live_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.ingest_failed;
+    out.status = IngestStatus::kUnavailable;
+    return out;
+  }
+  uint64_t watermark = 0;
+  if (!live_->Ingest(request.checkins, &watermark)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.ingest_failed;
+    out.status = IngestStatus::kInvalid;
+    return out;
+  }
+  out.status = IngestStatus::kOk;
+  out.accepted = request.checkins.size();
+  out.watermark = watermark;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.checkins_accepted += out.accepted;
+  return out;
 }
 
 FrontDoorCounters FrontDoor::counters() const {

@@ -10,9 +10,12 @@
 #include "gat/common/clock.h"
 #include "gat/common/query_context.h"
 #include "gat/engine/query_engine.h"
+#include "gat/live/checkin.h"
 #include "gat/serve/token_bucket.h"
 
 namespace gat {
+
+class LiveIndex;
 
 /// Per-tenant admission budget: sustained rate plus burst headroom.
 struct TenantQuota {
@@ -32,6 +35,13 @@ struct FrontDoorOptions {
 
   /// Per-tenant overrides, looked up by tenant ID.
   std::vector<std::pair<uint32_t, TenantQuota>> tenant_quotas;
+
+  /// Write-side admission: ingest batches draw from a SEPARATE bucket
+  /// pool (one write bucket per tenant) so a write burst can never
+  /// starve the same tenant's queries or vice versa. The bucket is
+  /// charged one token per check-in (minimum one per batch).
+  TenantQuota default_write_quota;
+  std::vector<std::pair<uint32_t, TenantQuota>> tenant_write_quotas;
 };
 
 /// One request at the front door: a tenant's query batch plus its
@@ -69,6 +79,9 @@ enum class ShedReason : uint8_t {
   /// The tenant's token bucket had no token at admission time.
   /// ServeResult::shed_tenant names the tenant whose budget it was.
   kTenantRateLimit = 1,
+  /// The tenant's WRITE bucket could not cover the ingest batch.
+  /// IngestResult::shed_tenant names the tenant whose budget it was.
+  kWriteRateLimit = 2,
 };
 
 struct ServeResult {
@@ -83,14 +96,50 @@ struct ServeResult {
   BatchResult batch;
 };
 
+/// One write batch at the front door: a tenant's check-ins.
+struct IngestRequest {
+  uint32_t tenant = 0;
+  std::vector<CheckIn> checkins;
+};
+
+/// Ingest-level outcome. Values are wire-stable (kIngestAck encodes
+/// them verbatim; see docs/WIRE_PROTOCOL.md) — add at the end, never
+/// renumber.
+enum class IngestStatus : uint8_t {
+  kOk = 0,
+  kShed = 1,         // refused at write admission; nothing applied
+  kInvalid = 2,      // failed frame validation; nothing applied
+  kUnavailable = 3,  // no live index attached; nothing applied
+};
+
+struct IngestResult {
+  IngestStatus status = IngestStatus::kOk;
+  /// kWriteRateLimit when status == kShed, kNone otherwise.
+  ShedReason shed_reason = ShedReason::kNone;
+  uint32_t shed_tenant = 0;
+  /// Check-ins applied: the whole batch on kOk, zero otherwise
+  /// (ingestion is all-or-nothing at every layer).
+  uint64_t accepted = 0;
+  /// Cumulative LiveIndex watermark after this batch (kOk only): the
+  /// freshness handle a client can correlate with query results.
+  uint64_t watermark = 0;
+};
+
 /// Monotonic front-door counters. admitted + shed = total offered;
 /// completed + deadline_misses = admitted (every admitted request ends
-/// in exactly one of the two).
+/// in exactly one of the two). On the write side:
+/// ingest_admitted + ingest_shed = ingest batches offered;
+/// ingest_failed counts admitted batches refused by validation or the
+/// missing live index; checkins_accepted sums the applied check-ins.
 struct FrontDoorCounters {
   uint64_t admitted = 0;
   uint64_t shed = 0;
   uint64_t completed = 0;
   uint64_t deadline_misses = 0;
+  uint64_t ingest_admitted = 0;
+  uint64_t ingest_shed = 0;
+  uint64_t ingest_failed = 0;
+  uint64_t checkins_accepted = 0;
 };
 
 /// The serving front door: per-tenant token-bucket admission, deadline
@@ -130,19 +179,35 @@ class FrontDoor {
   /// request's QueryContext.
   ServeResult ServeAdmitted(const ServeRequest& request);
 
+  /// Attaches the write target. Ingest without one reports
+  /// kUnavailable; the index is borrowed and must outlive the front
+  /// door. Call before serving traffic (not synchronized against
+  /// in-flight Ingest calls).
+  void AttachLiveIndex(LiveIndex* live) { live_ = live; }
+
+  /// Write admission + application. A shed batch performs ZERO index
+  /// work — the same overload contract as the query side, enforced by
+  /// a separate per-tenant write bucket charged one token per check-in.
+  /// Admitted batches apply atomically through `LiveIndex::Ingest`
+  /// (kInvalid when frame validation refuses them).
+  IngestResult Ingest(const IngestRequest& request);
+
   FrontDoorCounters counters() const;
 
   const Clock& clock() const { return *clock_; }
 
  private:
   TokenBucket& BucketForLocked(uint32_t tenant);
+  TokenBucket& WriteBucketForLocked(uint32_t tenant);
 
   const QueryEngine& engine_;
   const Clock* clock_;
   FrontDoorOptions options_;
+  LiveIndex* live_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<uint32_t, TokenBucket> buckets_;
+  std::map<uint32_t, TokenBucket> write_buckets_;
   FrontDoorCounters counters_;
 };
 

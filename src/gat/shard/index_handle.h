@@ -7,23 +7,23 @@
 #include <utility>
 
 #include "gat/index/gat_index.h"
-#include "gat/storage/mapped_snapshot.h"
+#include "gat/storage/loaded_snapshot.h"
 
 namespace gat {
 
-/// One immutable serving generation of a shard: the index plus whatever
-/// owns its storage — either a `MappedSnapshot` (mapping + block-cached
-/// tier + index) or a heap-built `GatIndex`. A revision is reference-
-/// counted through `IndexHandle`: in-flight searches pin it, a reload
-/// swaps the handle to a successor, and the retired revision is
-/// destroyed by whoever drops the last reference — which is what runs
-/// the `MappedDiskTier` destructor and purges the mapping's blocks from
-/// the shared `BlockCache` only after its last reader drained.
+/// One immutable serving revision of a shard: a `LoadedSnapshot` — the
+/// index plus whatever owns its storage (a mapping + block-cached tier,
+/// or a heap-built `GatIndex`) — stamped with an epoch. A revision is
+/// reference-counted through `IndexHandle`: in-flight searches pin it,
+/// a reload swaps the handle to a successor, and the retired revision
+/// is destroyed by whoever drops the last reference — which is what
+/// runs the `MappedDiskTier` destructor and purges the mapping's blocks
+/// from the shared `BlockCache` only after its last reader drained.
 struct ShardRevision {
-  /// Exactly one of `mapped` / `owned` is set.
-  std::unique_ptr<MappedSnapshot> mapped;
-  std::unique_ptr<GatIndex> owned;
-  /// The serving index (into `mapped` or `owned`); never null.
+  /// Owns the index and its storage together (the lifetime rule is the
+  /// wrapper's whole point — see storage/loaded_snapshot.h).
+  LoadedSnapshot snapshot;
+  /// The serving index (`snapshot.index()`); never null.
   const GatIndex* index = nullptr;
   /// Monotonic per shard: 0 for the constructed generation, +1 per
   /// installed successor — stamped by `IndexHandle::Install` under the
@@ -31,19 +31,25 @@ struct ShardRevision {
   /// one shard race. Lets tests and operators observe swaps.
   uint64_t epoch = 0;
 
-  static std::shared_ptr<ShardRevision> Of(
-      std::unique_ptr<MappedSnapshot> snapshot) {
+  /// The mapped storage side when this revision serves out of a
+  /// mapping; nullptr in heap-owned (stream) mode.
+  const MappedSnapshot* mapped() const { return snapshot.mapped(); }
+
+  /// Wraps a loaded snapshot; the handle must be non-empty.
+  static std::shared_ptr<ShardRevision> Of(LoadedSnapshot snapshot) {
     auto rev = std::make_shared<ShardRevision>();
-    rev->index = &snapshot->index();
-    rev->mapped = std::move(snapshot);
+    rev->index = snapshot.index();
+    rev->snapshot = std::move(snapshot);
     return rev;
   }
 
+  static std::shared_ptr<ShardRevision> Of(
+      std::unique_ptr<MappedSnapshot> snapshot) {
+    return Of(LoadedSnapshot::FromMapped(std::move(snapshot)));
+  }
+
   static std::shared_ptr<ShardRevision> Of(std::unique_ptr<GatIndex> index) {
-    auto rev = std::make_shared<ShardRevision>();
-    rev->index = index.get();
-    rev->owned = std::move(index);
-    return rev;
+    return Of(LoadedSnapshot::FromOwned(std::move(index)));
   }
 };
 

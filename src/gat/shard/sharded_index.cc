@@ -13,58 +13,72 @@
 
 namespace gat {
 
-ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
-                           const ShardOptions& options)
-    : num_shards_(options.num_shards),
-      config_(config),
-      handles_(options.num_shards) {
-  GAT_CHECK(num_shards_ >= 1);
-  Stopwatch timer;
+const Dataset& ShardGeneration::shard_dataset(uint32_t shard) const {
+  GAT_CHECK(shard < num_shards_);
+  return shard_datasets_[shard];
+}
 
-  shard_datasets_ = dataset.PartitionRoundRobin(num_shards_);
+std::shared_ptr<const ShardRevision> ShardGeneration::PinShard(
+    uint32_t shard) const {
+  GAT_CHECK(shard < num_shards_);
+  return handles_[shard].Pin();
+}
 
-  const bool use_snapshots = !options.snapshot_dir.empty();
+uint64_t ShardGeneration::shard_epoch(uint32_t shard) const {
+  return PinShard(shard)->epoch;
+}
+
+std::shared_ptr<ShardGeneration> ShardedIndex::BuildGeneration(
+    const Dataset& dataset, uint32_t num_shards,
+    const std::string& snapshot_dir, Executor* executor,
+    uint32_t build_threads) const {
+  GAT_CHECK(num_shards >= 1);
+  auto gen = std::make_shared<ShardGeneration>();
+  gen->num_shards_ = num_shards;
+  gen->total_trajectories_ = dataset.size();
+  gen->shard_datasets_ = dataset.PartitionRoundRobin(num_shards);
+  gen->handles_ = std::make_unique<IndexHandle[]>(num_shards);
+
+  const bool use_snapshots = !snapshot_dir.empty();
   // The mmap tier *is* the snapshot file; there is nothing to map
   // without a directory to persist into.
-  GAT_CHECK(!options.mmap_disk_tier || use_snapshots);
-  if (options.mmap_disk_tier) {
-    cache_ = std::make_unique<BlockCache>(options.cache_config);
-  }
+  GAT_CHECK(cache_ == nullptr || use_snapshots);
   if (use_snapshots) {
     std::error_code ec;  // best effort; a failed mkdir surfaces as a build
-    std::filesystem::create_directories(options.snapshot_dir, ec);
+    std::filesystem::create_directories(snapshot_dir, ec);
   }
 
   std::atomic<uint32_t> loaded{0};
-  auto install = [this](uint32_t shard,
+  auto install = [&gen](uint32_t shard,
                         std::shared_ptr<ShardRevision> revision) {
-    handles_[shard].Install(std::move(revision));  // stamps epoch 0
+    gen->handles_[shard].Install(std::move(revision));  // stamps epoch 0
   };
-  auto build_shard = [&](uint32_t shard, Executor* executor) {
-    const Dataset& shard_dataset = shard_datasets_[shard];
+  auto build_shard = [&](uint32_t shard, Executor* shard_executor) {
+    const Dataset& shard_dataset = gen->shard_datasets_[shard];
     // Binds each snapshot to this exact dataset cut: a stale file — even
     // of a same-sized dataset — fails the load and triggers a rebuild.
     // Only worth the dataset pass when a cache is in play.
     const uint32_t fingerprint =
         use_snapshots ? DatasetFingerprint(shard_dataset) : 0;
     const std::string path =
-        use_snapshots ? SnapshotPath(options.snapshot_dir, shard, num_shards_)
+        use_snapshots ? SnapshotPath(snapshot_dir, shard, num_shards)
                       : std::string();
     MappedSnapshotOptions mapped_options;
     mapped_options.expected = &config_;
     mapped_options.expected_fingerprint = fingerprint;
-    mapped_options.executor = executor;
+    mapped_options.executor = shard_executor;
     mapped_options.cache = cache_.get();
     if (use_snapshots) {
-      if (options.mmap_disk_tier) {
-        auto snap = MappedSnapshot::Load(path, mapped_options);
-        if (snap != nullptr) {
+      if (cache_ != nullptr) {
+        auto snap = LoadedSnapshot::LoadMapped(path, mapped_options);
+        if (snap) {
           install(shard, ShardRevision::Of(std::move(snap)));
           loaded.fetch_add(1, std::memory_order_relaxed);
           return;
         }
       } else {
-        auto index = LoadSnapshot(path, &config_, fingerprint, executor);
+        auto index =
+            LoadSnapshot(path, &config_, fingerprint, shard_executor);
         if (index != nullptr) {
           install(shard, ShardRevision::Of(std::move(index)));
           loaded.fetch_add(1, std::memory_order_relaxed);
@@ -76,13 +90,13 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
     if (use_snapshots) {
       const bool saved = SaveSnapshot(*built, path,
                                       fingerprint);  // cache priming
-      if (saved && options.mmap_disk_tier) {
+      if (saved && cache_ != nullptr) {
         // Cold mmap start: swap the just-built heap index for the
         // mapped serving form immediately, so even the first process
         // generation serves its disk tier from the file. Falls back to
         // the built index if the fresh file cannot be mapped.
-        auto snap = MappedSnapshot::Load(path, mapped_options);
-        if (snap != nullptr) {
+        auto snap = LoadedSnapshot::LoadMapped(path, mapped_options);
+        if (snap) {
           install(shard, ShardRevision::Of(std::move(snap)));
           return;
         }
@@ -95,21 +109,20 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
   // caller provides one (a serving process rebuilds on the same pool
   // its queries run on); otherwise a construction-scoped executor fans
   // the shards out, and build_threads == 1 stays a plain inline loop.
-  Executor* executor = options.executor;
   std::unique_ptr<Executor> scoped;
-  if (executor == nullptr && options.build_threads != 1 && num_shards_ > 1) {
+  if (executor == nullptr && build_threads != 1 && num_shards > 1) {
     const uint32_t threads =
-        std::min(ResolveThreadCount(options.build_threads), num_shards_);
+        std::min(ResolveThreadCount(build_threads), num_shards);
     scoped = std::make_unique<Executor>(threads);
     executor = scoped.get();
   }
   if (executor == nullptr) {
-    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
       build_shard(shard, nullptr);
     }
   } else {
     TaskGroup group(*executor);
-    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
       group.Submit([&build_shard, shard, executor] {
         build_shard(shard, executor);
       });
@@ -117,39 +130,66 @@ ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
     group.Wait();
   }
 
-  loaded_from_snapshot_ = loaded.load();
+  gen->loaded_from_snapshot_ = loaded.load();
+  return gen;
+}
+
+ShardedIndex::ShardedIndex(const Dataset& dataset, const GatConfig& config,
+                           const ShardOptions& options)
+    : config_(config) {
+  GAT_CHECK(options.num_shards >= 1);
+  GAT_CHECK(!options.mmap_disk_tier || !options.snapshot_dir.empty());
+  if (options.mmap_disk_tier) {
+    cache_ = std::make_unique<BlockCache>(options.cache_config);
+  }
+  Stopwatch timer;
+  auto gen =
+      BuildGeneration(dataset, options.num_shards, options.snapshot_dir,
+                      options.executor, options.build_threads);
+  // No publish race: nothing can pin before the constructor returns.
+  current_ = std::move(gen);
   build_seconds_ = timer.ElapsedMillis() / 1000.0;
 }
 
+std::shared_ptr<const ShardGeneration> ShardedIndex::PinGeneration() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return current_;
+}
+
 const Dataset& ShardedIndex::shard_dataset(uint32_t shard) const {
-  GAT_CHECK(shard < num_shards_);
-  return shard_datasets_[shard];
+  // The generation outlives the returned reference only while it stays
+  // current; see the header note. The pin is dropped deliberately — the
+  // datasets of the current generation are kept alive by `current_`.
+  return PinGeneration()->shard_dataset(shard);
 }
 
 PinnedShard ShardedIndex::shard_index(uint32_t shard) const {
-  GAT_CHECK(shard < num_shards_);
-  return PinnedShard(handles_[shard].Pin());
+  return PinnedShard(PinGeneration()->PinShard(shard));
 }
 
 std::shared_ptr<const ShardRevision> ShardedIndex::PinShard(
     uint32_t shard) const {
-  GAT_CHECK(shard < num_shards_);
-  return handles_[shard].Pin();
+  return PinGeneration()->PinShard(shard);
 }
 
 uint64_t ShardedIndex::shard_epoch(uint32_t shard) const {
-  return PinShard(shard)->epoch;
+  return PinGeneration()->shard_epoch(shard);
 }
 
 bool ShardedIndex::ReloadShard(uint32_t shard,
                                const std::string& snapshot_path,
                                Executor* executor) {
-  GAT_CHECK(shard < num_shards_);
+  // The handshake: pin the generation whose cut this reload targets.
+  // Everything below — fingerprint, validation, the handle itself — is
+  // against this pinned cut, and the install happens only if it is
+  // still the published one.
+  const std::shared_ptr<const ShardGeneration> gen = PinGeneration();
+  GAT_CHECK(shard < gen->num_shards());
   // Same gating as construction: the incoming snapshot must be built
   // under this index's config *and* over this exact shard dataset —
   // anything else (including a corrupt or truncated file) fails here,
   // before the serving path is touched.
-  const uint32_t fingerprint = DatasetFingerprint(shard_datasets_[shard]);
+  const uint32_t fingerprint = DatasetFingerprint(gen->shard_dataset(shard));
   std::shared_ptr<ShardRevision> next;
   if (cache_ != nullptr) {
     MappedSnapshotOptions mapped_options;
@@ -157,8 +197,8 @@ bool ShardedIndex::ReloadShard(uint32_t shard,
     mapped_options.expected_fingerprint = fingerprint;
     mapped_options.executor = executor;
     mapped_options.cache = cache_.get();
-    auto snap = MappedSnapshot::Load(snapshot_path, mapped_options);
-    if (snap != nullptr) next = ShardRevision::Of(std::move(snap));
+    auto snap = LoadedSnapshot::LoadMapped(snapshot_path, mapped_options);
+    if (snap) next = ShardRevision::Of(std::move(snap));
   } else {
     auto index = LoadSnapshot(snapshot_path, &config_, fingerprint, executor);
     if (index != nullptr) next = ShardRevision::Of(std::move(index));
@@ -167,19 +207,61 @@ bool ShardedIndex::ReloadShard(uint32_t shard,
     reloads_failed_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  // The install is the only serving-path touch (it stamps the epoch to
-  // predecessor + 1 under the handle mutex); the retired revision is
-  // dropped here and destroyed — tier unregistered, blocks purged —
-  // by whichever in-flight reader drains last.
-  handles_[shard].Install(std::move(next));
+  {
+    // Refuse to resurrect a retired cut: if a generation change landed
+    // while the snapshot was loading, this file describes a dataset cut
+    // that is no longer served, and installing it into the dead
+    // generation's handle would waste the work at best (the next drain
+    // destroys it) and confuse pinned readers' epoch observations at
+    // worst. The check and the install need no shared critical section
+    // with the generation swap beyond this one: publishing is also
+    // under gen_mu_, so current_ cannot change between the comparison
+    // and the Install below.
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    if (current_ != gen) {
+      reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // The install is the only serving-path touch (it stamps the epoch
+    // to predecessor + 1 under the handle mutex); the retired revision
+    // is dropped here and destroyed — tier unregistered, blocks purged
+    // — by whichever in-flight reader drains last.
+    gen->handles_[shard].Install(std::move(next));
+  }
   reloads_completed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
+bool ShardedIndex::ReloadGeneration(const Dataset& dataset,
+                                    uint32_t num_shards,
+                                    const std::string& snapshot_dir,
+                                    Executor* executor) {
+  if (num_shards < 1) return false;
+  // mmap mode needs a directory to persist into, same as construction.
+  if (cache_ != nullptr && snapshot_dir.empty()) return false;
+  // Built entirely off the serving path; queries keep answering on the
+  // published generation throughout.
+  auto gen = BuildGeneration(dataset, num_shards, snapshot_dir, executor,
+                             /*build_threads=*/0);
+  std::shared_ptr<const ShardGeneration> retired;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen->number_ = current_->number() + 1;
+    retired = std::move(current_);
+    current_ = std::move(gen);
+  }
+  // `retired` drops here; readers that pinned the old generation keep
+  // it (datasets, handles, revisions) alive until they drain, at which
+  // point its mapped revisions unregister from the shared cache.
+  generations_published_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 uint32_t ShardedIndex::shards_mmap_served() const {
+  const auto gen = PinGeneration();
   uint32_t count = 0;
-  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    if (handles_[shard].Pin()->mapped != nullptr) ++count;
+  for (uint32_t shard = 0; shard < gen->num_shards(); ++shard) {
+    if (gen->PinShard(shard)->mapped() != nullptr) ++count;
   }
   return count;
 }
@@ -187,12 +269,13 @@ uint32_t ShardedIndex::shards_mmap_served() const {
 bool ShardedIndex::SaveSnapshots(const std::string& dir) const {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  const auto gen = PinGeneration();
   bool ok = true;
-  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    const auto revision = PinShard(shard);
+  for (uint32_t shard = 0; shard < gen->num_shards(); ++shard) {
+    const auto revision = gen->PinShard(shard);
     ok = SaveSnapshot(*revision->index,
-                      SnapshotPath(dir, shard, num_shards_),
-                      DatasetFingerprint(shard_datasets_[shard])) &&
+                      SnapshotPath(dir, shard, gen->num_shards()),
+                      DatasetFingerprint(gen->shard_dataset(shard))) &&
          ok;
   }
   return ok;
@@ -205,9 +288,10 @@ std::string ShardedIndex::SnapshotPath(const std::string& dir, uint32_t shard,
 }
 
 GatIndex::MemoryBreakdown ShardedIndex::memory_breakdown() const {
+  const auto gen = PinGeneration();
   GatIndex::MemoryBreakdown total;
-  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
-    const auto revision = PinShard(shard);
+  for (uint32_t shard = 0; shard < gen->num_shards(); ++shard) {
+    const auto revision = gen->PinShard(shard);
     const auto b = revision->index->memory_breakdown();
     total.hicl_memory += b.hicl_memory;
     total.hicl_disk += b.hicl_disk;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,64 @@ struct ShardOptions {
   BlockCacheConfig cache_config;
 };
 
+/// One shard cut of one dataset generation: the partition (per-shard
+/// datasets), its shard count, and one epoch-guarded `IndexHandle` per
+/// shard. The serving unit of `ShardedIndex` — published as a whole
+/// through a reference-counted pointer, so a reader that pinned a
+/// generation sees one consistent cut (shard count, datasets, global-ID
+/// mapping, indexes) for its entire visit, no matter how many
+/// generation changes land meanwhile.
+///
+/// The partition and metadata are immutable after publication; the
+/// handles keep swapping *within* the generation (`ReloadShard`), which
+/// is what makes an intra-generation snapshot swap invisible to pinned
+/// readers.
+class ShardGeneration {
+ public:
+  /// Monotonic dataset-generation number: 0 for the constructed cut,
+  /// +1 per published successor.
+  uint64_t number() const { return number_; }
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  const Dataset& shard_dataset(uint32_t shard) const;
+
+  /// Total trajectories across all shards — the size of the monolithic
+  /// dataset this cut partitions (delta global IDs start here).
+  size_t total_trajectories() const { return total_trajectories_; }
+
+  /// Pins the shard's current serving revision within this generation.
+  std::shared_ptr<const ShardRevision> PinShard(uint32_t shard) const;
+
+  /// Epoch of the shard's serving revision (0 at generation build, +1
+  /// per completed intra-generation reload).
+  uint64_t shard_epoch(uint32_t shard) const;
+
+  /// Inverse of the round-robin partition: the parent-dataset ID of
+  /// local trajectory `local` in `shard` under THIS generation's cut.
+  TrajectoryId GlobalId(uint32_t shard, TrajectoryId local) const {
+    return local * num_shards_ + shard;
+  }
+
+  /// How many shards were restored from snapshots when this generation
+  /// was built (vs built from the dataset).
+  uint32_t shards_loaded_from_snapshot() const { return loaded_from_snapshot_; }
+
+ private:
+  friend class ShardedIndex;
+
+  uint64_t number_ = 0;
+  uint32_t num_shards_ = 1;
+  std::vector<Dataset> shard_datasets_;
+  /// One epoch-guarded swap point per shard; every revision holds a
+  /// `LoadedSnapshot` (mapped, or heap-owned). IndexHandle is
+  /// internally synchronized, so the array can be reached through the
+  /// otherwise-immutable generation.
+  std::unique_ptr<IndexHandle[]> handles_;
+  size_t total_trajectories_ = 0;
+  uint32_t loaded_from_snapshot_ = 0;
+};
+
 /// Horizontal partitioning of one dataset into N independent GAT indexes
 /// (the ROADMAP's sharding direction; the paper's index, Section IV, is
 /// built per shard unchanged).
@@ -67,27 +126,33 @@ struct ShardOptions {
 /// GatIndex over the inherited frame, snapshot-cache like any other
 /// shard, and answer every query with zero results.
 ///
-/// ## Live reload
+/// ## Generations
 ///
-/// Each shard serves through an epoch-guarded `IndexHandle`:
-/// `PinShard` returns the current `ShardRevision` pinned for the
-/// caller's lifetime, and `ReloadShard` builds and validates an
-/// incoming snapshot *off the serving path*, then swaps it in
-/// atomically. In-flight searches finish on the revision they pinned;
-/// the retired revision — index, mapping, block-cached tier — is
-/// destroyed when its last reader drains, which unregisters its file
-/// from the shared `BlockCache` and purges its blocks (no stale block
-/// can ever be served to the successor mapping). A reload whose
-/// incoming snapshot is missing, corrupt, mis-configured or stamped
-/// with the wrong dataset fingerprint fails without touching the
-/// serving revision.
+/// The serving state — shard count, partition, per-shard handles — is
+/// one published `ShardGeneration`. `PinGeneration` is the read side:
+/// a searcher pins the current generation once per query and uses its
+/// accessors throughout, so shard count and global-ID mapping cannot
+/// shift under a single query's feet. Two write paths exist:
+///
+///  * `ReloadShard` swaps ONE shard's snapshot within the current
+///    generation (same cut, same dataset — the rolling re-map). Its
+///    fingerprint gate is a *generation handshake*: the incoming file
+///    must match the pinned generation's shard dataset, and the install
+///    is refused if a generation change retired that cut while the
+///    snapshot was loading.
+///  * `ReloadGeneration` publishes a whole new cut — typically a new
+///    dataset generation (live ingestion's delta compacted in) and
+///    possibly a different shard count, which subsumes shard
+///    rebalancing. The new generation is partitioned, built or
+///    snapshot-loaded entirely off the serving path, then swapped in
+///    atomically; readers that pinned the old generation drain on it,
+///    and its retirement purges its mappings' blocks from the shared
+///    cache exactly like a shard reload does.
 ///
 /// Thread-safety: the query path (all const members) is safe against
-/// any number of concurrent `ReloadShard` calls; `ReloadShard` itself
-/// may run concurrently for different shards (concurrent reloads of
-/// the *same* shard serialize only at the swap — last one wins, every
-/// intermediate revision drains normally). The partition
-/// (`shard_dataset`) never changes after construction.
+/// any number of concurrent `ReloadShard` / `ReloadGeneration` calls;
+/// writers may run concurrently with each other (they serialize at the
+/// publish points).
 class ShardedIndex {
  public:
   /// Partitions `dataset` and builds (or snapshot-loads) all shard
@@ -98,9 +163,24 @@ class ShardedIndex {
   explicit ShardedIndex(const Dataset& dataset, const GatConfig& config = {},
                         const ShardOptions& options = {});
 
-  uint32_t num_shards() const { return num_shards_; }
+  /// Pins the current generation: cut, datasets, handles and global-ID
+  /// mapping stay valid (and mutually consistent) until the pointer is
+  /// dropped, across any number of generation changes. The pin itself
+  /// is two uncontended mutex ops + a refcount.
+  std::shared_ptr<const ShardGeneration> PinGeneration() const;
+
+  /// Shard count of the current generation. Prefer PinGeneration when
+  /// more than one call must agree on the cut.
+  uint32_t num_shards() const { return PinGeneration()->num_shards(); }
+
+  /// Dataset-generation number of the current generation.
+  uint64_t generation_number() const { return PinGeneration()->number(); }
+
   const GatConfig& config() const { return config_; }
 
+  /// Current generation's shard dataset. The reference is valid while
+  /// that generation lives; callers racing a `ReloadGeneration` must
+  /// hold `PinGeneration()` and use its accessor instead.
   const Dataset& shard_dataset(uint32_t shard) const;
 
   /// The shard's current serving index, pinned: the returned RAII view
@@ -117,7 +197,7 @@ class ShardedIndex {
   std::shared_ptr<const ShardRevision> PinShard(uint32_t shard) const;
 
   /// Epoch of the shard's serving revision (0 at construction, +1 per
-  /// completed reload).
+  /// completed reload) in the current generation.
   uint64_t shard_epoch(uint32_t shard) const;
 
   /// Hot-swaps `shard`'s serving index with the snapshot at
@@ -126,13 +206,33 @@ class ShardedIndex {
   /// CRC/structurally validated off the serving path — on `executor`
   /// when given, making the load multi-core — then swapped in
   /// atomically. In-flight searches drain on the old revision, whose
-  /// blocks are purged from the shared cache on destruction. The
-  /// incoming snapshot must match the construction `GatConfig` and the
-  /// shard's dataset fingerprint (an *equivalent* snapshot keeps
-  /// serving bit-identical through the swap). Returns false — leaving
-  /// the old revision serving untouched — on any load failure.
+  /// blocks are purged from the shared cache on destruction.
+  ///
+  /// The gate is a generation handshake: the incoming snapshot must
+  /// match the construction `GatConfig` and the *pinned* generation's
+  /// shard-dataset fingerprint, and the install is refused when a
+  /// `ReloadGeneration` retired that cut while the file was loading —
+  /// a reload can never resurrect a shard of a dead generation.
+  /// Returns false — leaving serving untouched — on any failure.
   bool ReloadShard(uint32_t shard, const std::string& snapshot_path,
                    Executor* executor = nullptr);
+
+  /// Publishes a new generation: partitions `dataset` into `num_shards`
+  /// shards, builds or snapshot-loads them entirely off the serving
+  /// path (under `snapshot_dir` when non-empty — use a FRESH directory
+  /// per generation: writing over a snapshot file that an older
+  /// generation still maps would corrupt it under its readers), then
+  /// atomically swaps the published cut. Queries keep answering on
+  /// whichever generation they pinned; the retired generation is
+  /// destroyed — mappings unmapped, cache blocks purged — when its last
+  /// reader drains. The new cut may change the shard count (shard
+  /// rebalancing is just a generation change with the same dataset).
+  ///
+  /// In mmap mode `snapshot_dir` must be non-empty, like construction.
+  /// Returns false (serving untouched) on invalid arguments.
+  bool ReloadGeneration(const Dataset& dataset, uint32_t num_shards,
+                        const std::string& snapshot_dir = std::string(),
+                        Executor* executor = nullptr);
 
   /// Completed / failed `ReloadShard` calls over this index's lifetime.
   uint64_t reloads_completed() const {
@@ -142,10 +242,15 @@ class ShardedIndex {
     return reloads_failed_.load(std::memory_order_relaxed);
   }
 
-  /// Inverse of the round-robin partition: the parent-dataset ID of local
-  /// trajectory `local` in `shard`.
+  /// `ReloadGeneration` publications over this index's lifetime.
+  uint64_t generations_published() const {
+    return generations_published_.load(std::memory_order_relaxed);
+  }
+
+  /// Inverse of the round-robin partition under the current generation.
+  /// Within one query, map IDs through the pinned generation instead.
   TrajectoryId GlobalId(uint32_t shard, TrajectoryId local) const {
-    return local * num_shards_ + shard;
+    return PinGeneration()->GlobalId(shard, local);
   }
 
   /// Writes every shard's snapshot into `dir` (created if missing).
@@ -156,12 +261,16 @@ class ShardedIndex {
   static std::string SnapshotPath(const std::string& dir, uint32_t shard,
                                   uint32_t num_shards);
 
-  /// How many shards were restored from snapshots (vs built) — 0 on a
-  /// cold start, `num_shards()` on a fully warm one.
-  uint32_t shards_loaded_from_snapshot() const { return loaded_from_snapshot_; }
+  /// How many shards of the current generation were restored from
+  /// snapshots (vs built) — 0 on a cold start, `num_shards()` on a
+  /// fully warm one.
+  uint32_t shards_loaded_from_snapshot() const {
+    return PinGeneration()->shards_loaded_from_snapshot();
+  }
 
   /// The shared block cache of the mmap disk tier, or nullptr when
-  /// `ShardOptions::mmap_disk_tier` was off.
+  /// `ShardOptions::mmap_disk_tier` was off. One budget across every
+  /// shard of every generation.
   const BlockCache* block_cache() const { return cache_.get(); }
 
   /// Shards currently served from a mapped snapshot (== num_shards() in
@@ -172,23 +281,28 @@ class ShardedIndex {
   /// build/load).
   double build_seconds() const { return build_seconds_; }
 
-  /// Sum of the per-shard memory breakdowns.
+  /// Sum of the per-shard memory breakdowns of the current generation.
   GatIndex::MemoryBreakdown memory_breakdown() const;
 
  private:
-  uint32_t num_shards_;
+  /// Partition + parallel build/load of one generation (number left 0;
+  /// the publisher stamps it).
+  std::shared_ptr<ShardGeneration> BuildGeneration(
+      const Dataset& dataset, uint32_t num_shards,
+      const std::string& snapshot_dir, Executor* executor,
+      uint32_t build_threads) const;
+
   GatConfig config_;
-  std::vector<Dataset> shard_datasets_;
-  /// Declared before the handles on purpose: every mapped revision's
-  /// disk tier unregisters from this cache in its destructor, so the
-  /// cache must outlive the last revision the handles drop.
+  /// Declared before the published generation on purpose: every mapped
+  /// revision's disk tier unregisters from this cache in its
+  /// destructor, so the cache must outlive the last revision of the
+  /// last generation.
   std::unique_ptr<BlockCache> cache_;  // shared budget, mmap mode only
-  /// One epoch-guarded swap point per shard; every revision holds
-  /// either a mapped snapshot (mmap mode) or a heap-owned index.
-  std::vector<IndexHandle> handles_;
-  uint32_t loaded_from_snapshot_ = 0;
+  mutable std::mutex gen_mu_;
+  std::shared_ptr<const ShardGeneration> current_;
   std::atomic<uint64_t> reloads_completed_{0};
   std::atomic<uint64_t> reloads_failed_{0};
+  std::atomic<uint64_t> generations_published_{0};
   double build_seconds_ = 0.0;
 };
 

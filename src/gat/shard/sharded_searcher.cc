@@ -17,10 +17,22 @@ ShardedSearcher::ShardedSearcher(const ShardedIndex& index,
 ResultList ShardedSearcher::Search(const Query& query, size_t k,
                                    QueryKind kind, SearchStats* stats,
                                    const QueryContext* context) const {
+  // One generation pin per query: the cut (shard count, datasets,
+  // global-ID mapping) cannot shift under the fan-out, no matter how
+  // many ReloadGeneration swaps land meanwhile.
+  const auto generation = index_.PinGeneration();
+  return SearchGeneration(*generation, query, k, kind, stats, context);
+}
+
+ResultList ShardedSearcher::SearchGeneration(const ShardGeneration& generation,
+                                             const Query& query, size_t k,
+                                             QueryKind kind,
+                                             SearchStats* stats,
+                                             const QueryContext* context) const {
   // Per-query stats, like every other Searcher: reset, then accumulate
   // the shard sweeps of *this* query.
   if (stats != nullptr) stats->Reset();
-  const uint32_t num_shards = index_.num_shards();
+  const uint32_t num_shards = generation.num_shards();
 
   // Entry task boundary: an already-expired query touches no shard —
   // no pin, no task submission, no partial work.
@@ -44,9 +56,9 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
     // its mapping and tier) cannot be retired under the search, however
     // many ReloadShard swaps land meanwhile. The searcher itself is
     // stack-local — revision-dependent state never outlives the pin.
-    const auto revision = index_.PinShard(shard);
-    const GatSearcher searcher(index_.shard_dataset(shard), *revision->index,
-                               params_);
+    const auto revision = generation.PinShard(shard);
+    const GatSearcher searcher(generation.shard_dataset(shard),
+                               *revision->index, params_);
     shard_results[shard] =
         searcher.Search(query, k, kind,
                         stats != nullptr ? &shard_stats[shard] : nullptr,
@@ -77,7 +89,7 @@ ResultList ShardedSearcher::Search(const Query& query, size_t k,
   TopKCollector merged(k);
   for (uint32_t shard = 0; shard < num_shards; ++shard) {
     for (const SearchResult& r : shard_results[shard]) {
-      merged.Offer(index_.GlobalId(shard, r.trajectory), r.distance);
+      merged.Offer(generation.GlobalId(shard, r.trajectory), r.distance);
     }
   }
   if (stats != nullptr) {

@@ -76,6 +76,18 @@ class ShardedSearcher : public Searcher {
                     const QueryContext* context = nullptr) const override;
   std::string name() const override { return "GAT-sharded"; }
 
+  /// The fan-out/merge core against one explicit generation: every pin,
+  /// dataset access and global-ID mapping goes through `generation`, so
+  /// the sweep is immune to a concurrent `ReloadGeneration` changing the
+  /// published cut mid-query. `Search` is exactly `PinGeneration()` +
+  /// this; the live-ingestion searcher calls it with the generation its
+  /// pinned view names, so base results and delta results stay mutually
+  /// consistent. Stats contract matches `Search` (stats are reset).
+  ResultList SearchGeneration(const ShardGeneration& generation,
+                              const Query& query, size_t k, QueryKind kind,
+                              SearchStats* stats = nullptr,
+                              const QueryContext* context = nullptr) const;
+
   const ShardedIndex& index() const { return index_; }
   Executor* executor() const { return executor_; }
 

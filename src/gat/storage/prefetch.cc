@@ -96,10 +96,14 @@ void PrefetchScheduler::ObserveBatch(uint64_t demand_misses,
 void PrefetchScheduler::PrefetchQuery(const Query& query) const {
   uint64_t rows = 0;
   if (sharded_ != nullptr) {
-    for (uint32_t shard = 0; shard < sharded_->num_shards(); ++shard) {
+    // One generation pin for the whole warm-up: the shard count cannot
+    // change under the loop when a ReloadGeneration publishes a new cut
+    // mid-query.
+    const auto generation = sharded_->PinGeneration();
+    for (uint32_t shard = 0; shard < generation->num_shards(); ++shard) {
       // Pin for exactly this shard's sweep: a concurrent ReloadShard
       // retires the revision only after the warm-up is done with it.
-      const auto revision = sharded_->PinShard(shard);
+      const auto revision = generation->PinShard(shard);
       rows += WarmIndex(*revision->index, query);
     }
   } else {

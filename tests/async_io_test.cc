@@ -32,6 +32,7 @@
 #include "gat/index/snapshot.h"
 #include "gat/search/gat_search.h"
 #include "gat/storage/async_io.h"
+#include "gat/storage/loaded_snapshot.h"
 #include "gat/storage/mapped_snapshot.h"
 #include "gat/storage/prefetch.h"
 
@@ -171,7 +172,7 @@ struct TierFixture {
   }
   ~TierFixture() { std::remove(path.c_str()); }
 
-  std::unique_ptr<MappedSnapshot> Load(SnapshotIoMode mode,
+  LoadedSnapshot Load(SnapshotIoMode mode,
                                        uint64_t capacity_bytes = 1 << 20,
                                        CacheAdmission admission =
                                            CacheAdmission::kAdmitAll) const {
@@ -181,7 +182,7 @@ struct TierFixture {
     options.cache_config.shards = 1;
     options.cache_config.capacity_bytes = capacity_bytes;
     options.cache_config.admission = admission;
-    return MappedSnapshot::Load(path, options);
+    return LoadedSnapshot::LoadMapped(path, options);
   }
 };
 
@@ -189,14 +190,14 @@ TEST(AsyncDiskTier, BitIdenticalToMappedTierWithEqualCounters) {
   const TierFixture fix;
   const auto mmap_snap = fix.Load(SnapshotIoMode::kMmap);
   const auto async_snap = fix.Load(SnapshotIoMode::kAsync);
-  ASSERT_NE(mmap_snap, nullptr);
-  ASSERT_NE(async_snap, nullptr);
-  EXPECT_EQ(mmap_snap->async_tier(), nullptr);
-  ASSERT_NE(async_snap->async_tier(), nullptr);
+  ASSERT_TRUE(mmap_snap);
+  ASSERT_TRUE(async_snap);
+  EXPECT_EQ(mmap_snap.mapped()->async_tier(), nullptr);
+  ASSERT_NE(async_snap.mapped()->async_tier(), nullptr);
 
   const GatSearcher fresh(fix.dataset, *fix.built);
-  const GatSearcher mapped(fix.dataset, mmap_snap->index());
-  const GatSearcher async_mapped(fix.dataset, async_snap->index());
+  const GatSearcher mapped(fix.dataset, *mmap_snap);
+  const GatSearcher async_mapped(fix.dataset, *async_snap);
   for (const Query& q : TestQueries(fix.dataset, 77)) {
     for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
       SearchStats fresh_stats, map_stats, async_stats;
@@ -214,19 +215,19 @@ TEST(AsyncDiskTier, BitIdenticalToMappedTierWithEqualCounters) {
       EXPECT_EQ(async_stats.blocks_read, map_stats.blocks_read);
     }
   }
-  EXPECT_GT(async_snap->async_tier()->stats().async_reads, 0u);
+  EXPECT_GT(async_snap.mapped()->async_tier()->stats().async_reads, 0u);
 }
 
 TEST(AsyncDiskTier, StagingMakesDemandFetchesStallFree) {
   const TierFixture fix;
   const auto snap = fix.Load(SnapshotIoMode::kAsync);
-  ASSERT_NE(snap, nullptr);
-  const AsyncDiskTier* tier = snap->async_tier();
+  ASSERT_TRUE(snap);
+  const AsyncDiskTier* tier = snap.mapped()->async_tier();
   ASSERT_NE(tier, nullptr);
 
   // Stage a few whole rows cold, then demand-fetch the same extents:
   // the fetches must hit resident blocks and never stall.
-  const Apl& apl = snap->index().apl();
+  const Apl& apl = snap->apl();
   std::vector<std::pair<uint64_t, uint64_t>> extents;
   for (TrajectoryId t = 0; t < 8 && t < apl.num_trajectories(); ++t) {
     extents.push_back(apl.RowExtent(t));
@@ -260,9 +261,9 @@ TEST(AsyncDiskTier, StagingMakesDemandFetchesStallFree) {
 TEST(AsyncDiskTier, ColdDemandFetchCountsOneStall) {
   const TierFixture fix;
   const auto snap = fix.Load(SnapshotIoMode::kAsync);
-  ASSERT_NE(snap, nullptr);
-  const AsyncDiskTier* tier = snap->async_tier();
-  const auto extent = snap->index().apl().RowExtent(0);
+  ASSERT_TRUE(snap);
+  const AsyncDiskTier* tier = snap.mapped()->async_tier();
+  const auto extent = snap->apl().RowExtent(0);
   if (extent.second == 0) GTEST_SKIP() << "empty first row";
   DiskAccessCounter counter;
   tier->Fetch(extent.first, extent.second, &counter);
@@ -290,9 +291,9 @@ TEST(StagedEngine, BitIdenticalBatchesAndYieldAccounting) {
   // every query staged through the IoStager before its search task.
   const auto snap = fix.Load(SnapshotIoMode::kAsync, /*capacity_bytes=*/
                              16 * 512);
-  ASSERT_NE(snap, nullptr);
-  const GatSearcher async_mapped(fix.dataset, snap->index());
-  const IoStager stager(&snap->index(), snap->async_tier());
+  ASSERT_TRUE(snap);
+  const GatSearcher async_mapped(fix.dataset, *snap);
+  const IoStager stager(snap.index(), snap.mapped()->async_tier());
   Executor executor(4);
   const QueryEngine staged(
       async_mapped,
@@ -327,9 +328,9 @@ TEST(StagedEngine, InlineEngineIgnoresStagerButReportsItsCache) {
   // the stager's cache.
   const TierFixture fix;
   const auto snap = fix.Load(SnapshotIoMode::kAsync);
-  ASSERT_NE(snap, nullptr);
-  const GatSearcher async_mapped(fix.dataset, snap->index());
-  const IoStager stager(&snap->index(), snap->async_tier());
+  ASSERT_TRUE(snap);
+  const GatSearcher async_mapped(fix.dataset, *snap);
+  const IoStager stager(snap.index(), snap.mapped()->async_tier());
   const QueryEngine engine(
       async_mapped, EngineOptions{.threads = 1, .stager = &stager});
   const std::vector<Query> queries = TestQueries(fix.dataset, 5, 4);

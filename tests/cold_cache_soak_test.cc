@@ -31,6 +31,7 @@
 #include "gat/engine/query_engine.h"
 #include "gat/index/snapshot.h"
 #include "gat/search/gat_search.h"
+#include "gat/storage/loaded_snapshot.h"
 #include "gat/storage/mapped_snapshot.h"
 #include "gat/storage/prefetch.h"
 
@@ -70,11 +71,11 @@ class ColdCacheSoakTest : public ::testing::TestWithParam<CacheAdmission> {
 
   void TearDown() override { std::remove(path_.c_str()); }
 
-  std::unique_ptr<MappedSnapshot> LoadThrashing(BlockCache* shared) const {
+  LoadedSnapshot LoadThrashing(BlockCache* shared) const {
     MappedSnapshotOptions options;
     options.io_mode = SnapshotIoMode::kAsync;
     options.cache = shared;
-    return MappedSnapshot::Load(path_, options);
+    return LoadedSnapshot::LoadMapped(path_, options);
   }
 
   Dataset dataset_;
@@ -96,10 +97,10 @@ TEST_P(ColdCacheSoakTest, ConcurrentStagedBatchesStayBitIdentical) {
   BlockCache cache(cache_config);
 
   const auto snap = LoadThrashing(&cache);
-  ASSERT_NE(snap, nullptr);
-  ASSERT_NE(snap->async_tier(), nullptr);
-  const GatSearcher searcher(dataset_, snap->index());
-  const IoStager stager(&snap->index(), snap->async_tier());
+  ASSERT_TRUE(snap);
+  ASSERT_NE(snap.mapped()->async_tier(), nullptr);
+  const GatSearcher searcher(dataset_, *snap);
+  const IoStager stager(snap.index(), snap.mapped()->async_tier());
   Executor executor(kBatchThreads);
   const QueryEngine engine(
       searcher, EngineOptions{.executor = &executor, .stager = &stager});
@@ -112,15 +113,15 @@ TEST_P(ColdCacheSoakTest, ConcurrentStagedBatchesStayBitIdentical) {
   std::thread churn([&] {
     while (!stop.load(std::memory_order_acquire)) {
       const auto transient = LoadThrashing(&cache);
-      if (transient == nullptr) {  // gtest asserts stay on the main thread
+      if (!transient) {  // gtest asserts stay on the main thread
         churn_failures.fetch_add(1);
         break;
       }
       DiskAccessCounter counter;
-      const Apl& apl = transient->index().apl();
+      const Apl& apl = transient->apl();
       for (TrajectoryId t = 0; t < 16 && t < apl.num_trajectories(); ++t) {
         const auto [offset, bytes] = apl.RowExtent(t);
-        transient->async_tier()->Fetch(offset, bytes, &counter);
+        transient.mapped()->async_tier()->Fetch(offset, bytes, &counter);
       }
       // transient destructs here: drain, unregister, purge, id reuse.
     }
@@ -155,7 +156,7 @@ TEST_P(ColdCacheSoakTest, ConcurrentStagedBatchesStayBitIdentical) {
     EXPECT_EQ(stats.admission_rejects, 0u);
     EXPECT_EQ(stats.ghost_hits, 0u);
   }
-  EXPECT_GT(snap->async_tier()->stats().staged_blocks, 0u);
+  EXPECT_GT(snap.mapped()->async_tier()->stats().staged_blocks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

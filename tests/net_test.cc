@@ -21,6 +21,7 @@
 #include "gat/datagen/query_generator.h"
 #include "gat/engine/executor.h"
 #include "gat/engine/query_engine.h"
+#include "gat/live/live_index.h"
 #include "gat/net/client.h"
 #include "gat/net/codec.h"
 #include "gat/net/server.h"
@@ -32,14 +33,20 @@ namespace gat {
 namespace {
 
 using wire::BuildFrame;
+using wire::DecodeIngestAckPayload;
+using wire::DecodeIngestPayload;
 using wire::DecodeRequestPayload;
 using wire::DecodeResultPayload;
+using wire::EncodeIngestAckPayload;
+using wire::EncodeIngestFrame;
+using wire::EncodeIngestPayload;
 using wire::EncodeRequestFrame;
 using wire::EncodeRequestPayload;
 using wire::EncodeResultFrame;
 using wire::EncodeResultPayload;
 using wire::FrameHeader;
 using wire::FrameType;
+using wire::InboundFrame;
 using wire::ParseFrameHeader;
 using wire::Session;
 
@@ -181,6 +188,62 @@ TEST(WireCodec, DeadlineResultRoundTripIsByteIdentical) {
   EXPECT_EQ(EncodeResultPayload(decoded), payload);
 }
 
+IngestRequest MakeIngest() {
+  IngestRequest request;
+  request.tenant = 42;
+  request.checkins.push_back({/*user=*/7, {1.5, -2.25}, {3, 9, 11}});
+  request.checkins.push_back({/*user=*/7, {0.0, 4.5}, {2}});
+  request.checkins.push_back({/*user=*/8, {-7.125, 8.0}, {}});
+  return request;
+}
+
+TEST(WireCodec, IngestRoundTripIsByteIdentical) {
+  const IngestRequest request = MakeIngest();
+  const std::string payload = EncodeIngestPayload(request);
+
+  IngestRequest decoded;
+  ASSERT_TRUE(DecodeIngestPayload(payload, &decoded));
+  EXPECT_EQ(decoded.tenant, request.tenant);
+  ASSERT_EQ(decoded.checkins.size(), request.checkins.size());
+  for (size_t i = 0; i < decoded.checkins.size(); ++i) {
+    EXPECT_EQ(decoded.checkins[i].user, request.checkins[i].user);
+    EXPECT_EQ(decoded.checkins[i].location.x, request.checkins[i].location.x);
+    EXPECT_EQ(decoded.checkins[i].location.y, request.checkins[i].location.y);
+    EXPECT_EQ(decoded.checkins[i].activities, request.checkins[i].activities);
+  }
+  EXPECT_EQ(EncodeIngestPayload(decoded), payload);
+  EXPECT_EQ(EncodeIngestFrame(decoded), EncodeIngestFrame(request));
+}
+
+TEST(WireCodec, IngestAckRoundTripsEveryProducibleState) {
+  // The four states FrontDoor::Ingest can produce, each byte-identical
+  // through the loop.
+  IngestResult ok;
+  ok.status = IngestStatus::kOk;
+  ok.accepted = 3;
+  ok.watermark = 17;
+  IngestResult shed;
+  shed.status = IngestStatus::kShed;
+  shed.shed_reason = ShedReason::kWriteRateLimit;
+  shed.shed_tenant = 42;
+  IngestResult invalid;
+  invalid.status = IngestStatus::kInvalid;
+  IngestResult unavailable;
+  unavailable.status = IngestStatus::kUnavailable;
+
+  for (const IngestResult& result : {ok, shed, invalid, unavailable}) {
+    const std::string payload = EncodeIngestAckPayload(result);
+    IngestResult decoded;
+    ASSERT_TRUE(DecodeIngestAckPayload(payload, &decoded));
+    EXPECT_EQ(decoded.status, result.status);
+    EXPECT_EQ(decoded.shed_reason, result.shed_reason);
+    EXPECT_EQ(decoded.shed_tenant, result.shed_tenant);
+    EXPECT_EQ(decoded.accepted, result.accepted);
+    EXPECT_EQ(decoded.watermark, result.watermark);
+    EXPECT_EQ(EncodeIngestAckPayload(decoded), payload);
+  }
+}
+
 // ----------------------------------------------------- header validation
 
 TEST(WireCodec, HeaderParsesItsOwnEncoding) {
@@ -289,6 +352,10 @@ TEST(WireCodec, ResultDecodeRejectsInconsistentState) {
   EXPECT_FALSE(
       DecodeResultPayload(corrupt_u32(payload, 0, 3), &out));  // bad status
   EXPECT_FALSE(DecodeResultPayload(corrupt_u32(payload, 4, 200), &out));
+  // kWriteRateLimit exists on the wire but only in ingest acks — the
+  // serve path never sheds for the write bucket, so a serve response
+  // claiming it is a protocol violation, not a forward-compat accept.
+  EXPECT_FALSE(DecodeResultPayload(corrupt_u32(payload, 4, 2), &out));
 
   const ServeResult ok = MakeOkResult();
   payload = EncodeResultPayload(ok);
@@ -306,6 +373,88 @@ TEST(WireCodec, ResultDecodeRejectsInconsistentState) {
   EXPECT_FALSE(DecodeResultPayload(payload + std::string(4, '\0'), &out));
 }
 
+TEST(WireCodec, IngestDecodeRejectsStructuralCorruption) {
+  const IngestRequest request = MakeIngest();
+  const std::string payload = EncodeIngestPayload(request);
+  IngestRequest out;
+
+  // Truncation at every prefix length: reject, never a crash.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeIngestPayload(std::string_view(payload.data(), len), &out))
+        << "accepted a " << len << "-byte prefix";
+  }
+  EXPECT_FALSE(DecodeIngestPayload(payload + std::string(4, '\0'), &out));
+
+  auto corrupt_u32 = [&](size_t offset, uint32_t value) {
+    std::string bad = payload;
+    std::memcpy(&bad[offset], &value, sizeof(value));
+    return bad;
+  };
+  // Payload layout: tenant@0, num_checkins@4; first check-in: user@8
+  // (u64), x@16, y@24, num_activities@32, activities@36.
+  EXPECT_FALSE(DecodeIngestPayload(corrupt_u32(4, 0), &out));  // empty batch
+  EXPECT_FALSE(DecodeIngestPayload(
+      corrupt_u32(4, wire::kMaxCheckInsPerIngest + 1), &out));
+  EXPECT_FALSE(DecodeIngestPayload(
+      corrupt_u32(32, wire::kMaxActivitiesPerPoint + 1), &out));
+
+  // Non-finite coordinate (x of the first check-in, offset 16).
+  std::string nan_payload = payload;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(&nan_payload[16], &nan, sizeof(nan));
+  EXPECT_FALSE(DecodeIngestPayload(nan_payload, &out));
+
+  // Activities must be strictly ascending: the first check-in carries
+  // {3, 9, 11} at offset 36.
+  EXPECT_FALSE(DecodeIngestPayload(corrupt_u32(40, 3), &out));  // 3,3,11
+  EXPECT_FALSE(DecodeIngestPayload(corrupt_u32(40, 1), &out));  // 3,1,11
+}
+
+TEST(WireCodec, IngestAckDecodeRejectsInconsistentState) {
+  IngestResult out;
+  auto corrupt_u32 = [](std::string s, size_t offset, uint32_t value) {
+    std::memcpy(&s[offset], &value, sizeof(value));
+    return s;
+  };
+
+  // Layout: status@0, shed_reason@4, shed_tenant@8, accepted@12 (u64),
+  // watermark@20 (u64).
+  IngestResult ok;
+  ok.status = IngestStatus::kOk;
+  ok.accepted = 3;
+  ok.watermark = 17;
+  std::string payload = EncodeIngestAckPayload(ok);
+  EXPECT_FALSE(
+      DecodeIngestAckPayload(corrupt_u32(payload, 0, 7), &out));  // bad status
+  EXPECT_FALSE(
+      DecodeIngestAckPayload(corrupt_u32(payload, 4, 1), &out));  // reason on ok
+  EXPECT_FALSE(
+      DecodeIngestAckPayload(corrupt_u32(payload, 8, 5), &out));  // tenant on ok
+  EXPECT_FALSE(
+      DecodeIngestAckPayload(corrupt_u32(payload, 12, 0), &out));  // ok, 0 rows
+  // watermark below accepted: the cumulative count cannot lag the batch.
+  EXPECT_FALSE(DecodeIngestAckPayload(corrupt_u32(payload, 20, 2), &out));
+
+  IngestResult shed;
+  shed.status = IngestStatus::kShed;
+  shed.shed_reason = ShedReason::kWriteRateLimit;
+  shed.shed_tenant = 42;
+  payload = EncodeIngestAckPayload(shed);
+  // A shed ack names the one write shed policy and nothing else.
+  EXPECT_FALSE(DecodeIngestAckPayload(corrupt_u32(payload, 4, 0), &out));
+  EXPECT_FALSE(DecodeIngestAckPayload(corrupt_u32(payload, 4, 1), &out));
+  // A shed applied nothing.
+  EXPECT_FALSE(DecodeIngestAckPayload(corrupt_u32(payload, 12, 1), &out));
+
+  // Truncation and trailing bytes.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeIngestAckPayload(std::string_view(payload.data(), len), &out));
+  }
+  EXPECT_FALSE(DecodeIngestAckPayload(payload + std::string(4, '\0'), &out));
+}
+
 // ------------------------------------------------------------- session
 
 TEST(WireSession, ReassemblesDribbledBytesAndPipelinedFrames) {
@@ -314,14 +463,15 @@ TEST(WireSession, ReassemblesDribbledBytesAndPipelinedFrames) {
 
   // One byte at a time: kNeedMore until the last byte lands.
   Session session;
-  ServeRequest out;
+  InboundFrame out;
   for (size_t i = 0; i + 1 < frame.size(); ++i) {
     session.Append(&frame[i], 1);
     ASSERT_EQ(session.Next(&out), Session::Event::kNeedMore);
   }
   session.Append(&frame[frame.size() - 1], 1);
   ASSERT_EQ(session.Next(&out), Session::Event::kRequest);
-  EXPECT_EQ(EncodeRequestPayload(out), EncodeRequestPayload(request));
+  ASSERT_EQ(out.kind, InboundFrame::Kind::kRequest);
+  EXPECT_EQ(EncodeRequestPayload(out.request), EncodeRequestPayload(request));
   EXPECT_EQ(session.Next(&out), Session::Event::kNeedMore);
 
   // Two frames in one Append: two requests, in order.
@@ -336,7 +486,7 @@ TEST(WireSession, ReassemblesDribbledBytesAndPipelinedFrames) {
 
 TEST(WireSession, MalformedInputClosesPermanently) {
   const std::string frame = EncodeRequestFrame(MakeRequest());
-  ServeRequest out;
+  InboundFrame out;
 
   // A flipped payload bit: the CRC catches it at frame level.
   {
@@ -383,6 +533,48 @@ TEST(WireSession, MalformedInputClosesPermanently) {
     session.Append(bad.data(), bad.size());
     EXPECT_EQ(session.Next(&out), Session::Event::kClosed);
   }
+
+  // An ingest ack where client frames belong: wrong direction, closed.
+  {
+    Session session;
+    IngestResult ok;
+    ok.status = IngestStatus::kOk;
+    ok.accepted = 1;
+    ok.watermark = 1;
+    const std::string ack = wire::EncodeIngestAckFrame(ok);
+    session.Append(ack.data(), ack.size());
+    EXPECT_EQ(session.Next(&out), Session::Event::kClosed);
+  }
+}
+
+TEST(WireSession, InterleavesIngestAndServeFramesInArrivalOrder) {
+  const ServeRequest request = MakeRequest();
+  const IngestRequest ingest = MakeIngest();
+  const std::string stream = EncodeRequestFrame(request) +
+                             EncodeIngestFrame(ingest) +
+                             EncodeRequestFrame(request);
+
+  Session session;
+  session.Append(stream.data(), stream.size());
+  InboundFrame out;
+  ASSERT_EQ(session.Next(&out), Session::Event::kRequest);
+  EXPECT_EQ(out.kind, InboundFrame::Kind::kRequest);
+  ASSERT_EQ(session.Next(&out), Session::Event::kRequest);
+  ASSERT_EQ(out.kind, InboundFrame::Kind::kIngest);
+  EXPECT_EQ(EncodeIngestPayload(out.ingest), EncodeIngestPayload(ingest));
+  ASSERT_EQ(session.Next(&out), Session::Event::kRequest);
+  EXPECT_EQ(out.kind, InboundFrame::Kind::kRequest);
+  EXPECT_EQ(EncodeRequestPayload(out.request), EncodeRequestPayload(request));
+  EXPECT_EQ(session.Next(&out), Session::Event::kNeedMore);
+  EXPECT_EQ(session.frames_decoded(), 3u);
+
+  // A corrupt ingest frame closes like a corrupt request frame.
+  Session poisoned;
+  std::string bad = EncodeIngestFrame(ingest);
+  bad[bad.size() - 3] ^= 0x40;
+  poisoned.Append(bad.data(), bad.size());
+  EXPECT_EQ(poisoned.Next(&out), Session::Event::kClosed);
+  EXPECT_TRUE(poisoned.closed());
 }
 
 // ----------------------------------------------- fast-path dispatch
@@ -474,6 +666,73 @@ TEST_F(WireDispatchTest, ServeFrameMatchesInProcessServe) {
   SearchStats direct_totals = direct.batch.totals;
   wire_totals.elapsed_ms = direct_totals.elapsed_ms = 0.0;
   EXPECT_TRUE(StatsEqual(wire_totals, direct_totals));
+}
+
+TEST_F(WireDispatchTest, IngestFrameCarriesEveryFrontDoorOutcome) {
+  ManualClock clock;
+  QueryEngine engine(*searcher_, EngineOptions{.threads = 1});
+  FrontDoorOptions options;
+  options.clock = &clock;
+  // Burst 9, no refill: three 3-check-in batches get through admission
+  // (admission charges per check-in whether or not the batch applies),
+  // the fourth sheds.
+  options.default_write_quota = TenantQuota{0.0, 9.0};
+  FrontDoor door(engine, options);
+
+  // A batch the live index will accept: check-ins at locations the
+  // dataset already covers, with in-vocabulary activities.
+  IngestRequest request;
+  request.tenant = 42;
+  for (size_t i = 0; i < 3; ++i) {
+    const TrajectoryPoint& p = dataset_.trajectories()[i].points().front();
+    request.checkins.push_back({/*user=*/900 + i, p.location, p.activities});
+  }
+
+  auto ack_of = [](const std::string& frame) {
+    IngestResult ack;
+    EXPECT_TRUE(DecodeIngestAckPayload(
+        std::string_view(frame).substr(wire::kHeaderBytes), &ack));
+    return ack;
+  };
+
+  // No live index attached: the door is read-only, kUnavailable.
+  IngestResult ack = ack_of(wire::IngestFrame(door, request));
+  EXPECT_EQ(ack.status, IngestStatus::kUnavailable);
+  EXPECT_EQ(door.counters().ingest_failed, 1u);
+
+  // Dataset is move-only; an empty ExtendWith is the frame-preserving
+  // copy (the fixture keeps serving dataset_ through searcher_).
+  LiveIndex live(dataset_.ExtendWith({}));
+  door.AttachLiveIndex(&live);
+
+  // Accepted: the ack's watermark is the cumulative check-in count and
+  // the delta grew by the batch's new users.
+  ack = ack_of(wire::IngestFrame(door, request));
+  EXPECT_EQ(ack.status, IngestStatus::kOk);
+  EXPECT_EQ(ack.accepted, 3u);
+  EXPECT_EQ(ack.watermark, 3u);
+  EXPECT_EQ(live.delta_trajectories(), 3u);
+  EXPECT_EQ(door.counters().checkins_accepted, 3u);
+
+  // Invalid: one check-in outside the bounding box poisons the whole
+  // batch (all-or-nothing), burning write tokens but applying nothing.
+  IngestRequest bad = request;
+  bad.checkins[1].location = {1.0e9, 1.0e9};
+  ack = ack_of(wire::IngestFrame(door, bad));
+  EXPECT_EQ(ack.status, IngestStatus::kInvalid);
+  EXPECT_EQ(live.delta_trajectories(), 3u);
+  EXPECT_EQ(live.batches_rejected(), 1u);
+
+  // Shed: the write bucket is empty after three admitted batches — the
+  // next one sheds with the write-specific reason, applying nothing.
+  ack = ack_of(wire::IngestFrame(door, request));
+  EXPECT_EQ(ack.status, IngestStatus::kShed);
+  EXPECT_EQ(ack.shed_reason, ShedReason::kWriteRateLimit);
+  EXPECT_EQ(ack.shed_tenant, request.tenant);
+  EXPECT_EQ(live.watermark(), 3u);
+  EXPECT_EQ(door.counters().ingest_shed, 1u);
+  EXPECT_EQ(door.counters().ingest_admitted, 3u);
+  EXPECT_EQ(door.counters().ingest_failed, 2u);
 }
 
 }  // namespace

@@ -36,6 +36,7 @@
 #include "gat/shard/sharded_index.h"
 #include "gat/shard/sharded_searcher.h"
 #include "gat/storage/block_cache.h"
+#include "gat/storage/loaded_snapshot.h"
 #include "gat/storage/mapped_snapshot.h"
 #include "gat/storage/prefetch.h"
 #include "gat/util/rng.h"
@@ -215,15 +216,17 @@ TEST(ParallelCrcSweep, AcceptsAndServesBitIdentically) {
   MappedSnapshotOptions parallel_options;
   parallel_options.executor = &executor;
   parallel_options.cache_config.block_bytes = 512;
-  const auto parallel = MappedSnapshot::Load(path, parallel_options);
+  const LoadedSnapshot parallel =
+      LoadedSnapshot::LoadMapped(path, parallel_options);
   MappedSnapshotOptions sequential_options;
   sequential_options.cache_config.block_bytes = 512;
-  const auto sequential = MappedSnapshot::Load(path, sequential_options);
-  ASSERT_NE(parallel, nullptr);
-  ASSERT_NE(sequential, nullptr);
+  const LoadedSnapshot sequential =
+      LoadedSnapshot::LoadMapped(path, sequential_options);
+  ASSERT_TRUE(parallel);
+  ASSERT_TRUE(sequential);
 
-  const GatSearcher a(dataset, sequential->index());
-  const GatSearcher b(dataset, parallel->index());
+  const GatSearcher a(dataset, *sequential);
+  const GatSearcher b(dataset, *parallel);
   for (const Query& q : TestQueries(dataset, 99, 5)) {
     SearchStats sa, sb;
     ASSERT_EQ(a.Search(q, 9, QueryKind::kAtsq, &sa),

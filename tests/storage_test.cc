@@ -33,6 +33,7 @@
 #include "gat/shard/sharded_searcher.h"
 #include "gat/storage/block_cache.h"
 #include "gat/storage/mapped_file.h"
+#include "gat/storage/loaded_snapshot.h"
 #include "gat/storage/mapped_snapshot.h"
 #include "gat/storage/prefetch.h"
 
@@ -363,18 +364,18 @@ TEST(MappedSnapshot, BitIdenticalAnswersAndEqualDiskReads) {
   const std::string path = TempPath("mapped_roundtrip.gats");
   ASSERT_TRUE(SaveSnapshot(built, path));
 
-  const auto snap = MappedSnapshot::Load(path);
-  ASSERT_NE(snap, nullptr);
-  EXPECT_EQ(snap->index().config(), built.config());
+  const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(path);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->config(), built.config());
 
   // Identical tier accounting (Figure 8's memory-cost series).
   const auto mb = built.memory_breakdown();
-  const auto ml = snap->index().memory_breakdown();
+  const auto ml = snap->memory_breakdown();
   EXPECT_EQ(ml.MainMemoryTotal(), mb.MainMemoryTotal());
   EXPECT_EQ(ml.DiskTotal(), mb.DiskTotal());
 
   const GatSearcher fresh(dataset, built);
-  const GatSearcher mapped(dataset, snap->index());
+  const GatSearcher mapped(dataset, *snap);
   uint64_t total_block_traffic = 0;
   for (const Query& q : TestQueries(dataset, 77)) {
     for (const QueryKind kind : {QueryKind::kAtsq, QueryKind::kOatsq}) {
@@ -397,7 +398,7 @@ TEST(MappedSnapshot, BitIdenticalAnswersAndEqualDiskReads) {
     }
   }
   EXPECT_GT(total_block_traffic, 0u);
-  EXPECT_GT(snap->cache().Snapshot().DemandLookups(), 0u);
+  EXPECT_GT(snap.mapped()->cache().Snapshot().DemandLookups(), 0u);
   std::remove(path.c_str());
 }
 
@@ -410,9 +411,9 @@ TEST(MappedSnapshot, ResaveOfMappedIndexIsByteIdentical) {
   const std::string p1 = TempPath("resave1.gats");
   const std::string p2 = TempPath("resave2.gats");
   ASSERT_TRUE(SaveSnapshot(built, p1));
-  const auto snap = MappedSnapshot::Load(p1);
-  ASSERT_NE(snap, nullptr);
-  ASSERT_TRUE(SaveSnapshot(snap->index(), p2));
+  const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(p1);
+  ASSERT_TRUE(snap);
+  ASSERT_TRUE(SaveSnapshot(*snap, p2));
   EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
   std::remove(p1.c_str());
   std::remove(p2.c_str());
@@ -429,13 +430,13 @@ TEST(MappedSnapshot, ExecutorValidationIsBitIdentical) {
   Executor executor(4);
   MappedSnapshotOptions options;
   options.executor = &executor;
-  const auto parallel = MappedSnapshot::Load(path, options);
-  const auto sequential = MappedSnapshot::Load(path);
-  ASSERT_NE(parallel, nullptr);
-  ASSERT_NE(sequential, nullptr);
+  const LoadedSnapshot parallel = LoadedSnapshot::LoadMapped(path, options);
+  const LoadedSnapshot sequential = LoadedSnapshot::LoadMapped(path);
+  ASSERT_TRUE(parallel);
+  ASSERT_TRUE(sequential);
 
-  const GatSearcher a(dataset, sequential->index());
-  const GatSearcher b(dataset, parallel->index());
+  const GatSearcher a(dataset, *sequential);
+  const GatSearcher b(dataset, *parallel);
   for (const Query& q : TestQueries(dataset, 99, 5)) {
     SearchStats sa, sb;
     ASSERT_EQ(a.Search(q, 9, QueryKind::kAtsq, &sa),
@@ -535,9 +536,9 @@ TEST(MappedSnapshot, MappingEndingMidBlockServesCorrectly) {
     ASSERT_NE(file_bytes % block_bytes, 0u);  // the premise of the test
     MappedSnapshotOptions options;
     options.cache_config.block_bytes = block_bytes;
-    const auto snap = MappedSnapshot::Load(path, options);
-    ASSERT_NE(snap, nullptr);
-    const GatSearcher mapped(dataset, snap->index());
+    const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(path, options);
+    ASSERT_TRUE(snap);
+    const GatSearcher mapped(dataset, *snap);
     for (const Query& q : TestQueries(dataset, 41, 5)) {
       SearchStats fresh_stats, mapped_stats;
       ASSERT_EQ(fresh.Search(q, 9, QueryKind::kAtsq, &fresh_stats),
@@ -555,10 +556,10 @@ TEST(MappedSnapshot, ReadOnlySnapshotFileServes) {
   ASSERT_TRUE(SaveSnapshot(built, path));
   ASSERT_EQ(::chmod(path.c_str(), 0444), 0);
 
-  const auto snap = MappedSnapshot::Load(path);
-  ASSERT_NE(snap, nullptr);
+  const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(path);
+  ASSERT_TRUE(snap);
   const GatSearcher fresh(dataset, built);
-  const GatSearcher mapped(dataset, snap->index());
+  const GatSearcher mapped(dataset, *snap);
   for (const Query& q : TestQueries(dataset, 43, 5)) {
     EXPECT_EQ(fresh.Search(q, 9, QueryKind::kAtsq),
               mapped.Search(q, 9, QueryKind::kAtsq));
@@ -579,11 +580,11 @@ TEST(MappedSnapshot, EmptyShardSnapshotServes) {
 
   MappedSnapshotOptions options;
   options.expected_fingerprint = DatasetFingerprint(empty);
-  const auto snap = MappedSnapshot::Load(path, options);
-  ASSERT_NE(snap, nullptr);
-  EXPECT_EQ(snap->index().config(), built.config());
+  const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(path, options);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->config(), built.config());
 
-  const GatSearcher searcher(empty, snap->index());
+  const GatSearcher searcher(empty, *snap);
   const Dataset query_frame = GenerateCity(CityProfile::Testing(20, 3));
   for (const Query& q : TestQueries(query_frame, 17, 3)) {
     EXPECT_TRUE(searcher.Search(q, 5, QueryKind::kAtsq).empty());
@@ -658,16 +659,17 @@ TEST(Prefetch, WarmsPredictedRowsAndKeepsResultsIdentical) {
   MappedSnapshotOptions options;
   options.cache_config.block_bytes = 1024;
   options.cache_config.capacity_bytes = 8 << 20;  // everything fits
-  const auto snap = MappedSnapshot::Load(path, options);
-  ASSERT_NE(snap, nullptr);
-  const GatSearcher mapped(dataset, snap->index());
+  const LoadedSnapshot snap = LoadedSnapshot::LoadMapped(path, options);
+  ASSERT_TRUE(snap);
+  const GatSearcher mapped(dataset, *snap);
 
-  const PrefetchScheduler prefetcher({&snap->index()}, &snap->cache());
+  const PrefetchScheduler prefetcher({snap.index()},
+                                     &snap.mapped()->cache());
   prefetcher.PrefetchBatch(queries);
   const auto prefetch_stats = prefetcher.stats();
   EXPECT_EQ(prefetch_stats.queries, queries.size());
   EXPECT_GT(prefetch_stats.rows_warmed, 0u);
-  EXPECT_GT(snap->cache().Snapshot().prefetched, 0u);
+  EXPECT_GT(snap.mapped()->cache().Snapshot().prefetched, 0u);
 
   // Warmed rows turn their first demand fetch into hits.
   SearchStats stats;
